@@ -1,0 +1,127 @@
+"""Ablations of Helios design choices called out by the paper.
+
+* **Frontend width** — Section V-A: with Fetch/Decode only as wide as
+  Rename, the Allocation Queue never fills and NCSF opportunities
+  vanish; the paper widens Fetch/Decode to 8 for exactly this reason.
+* **UCH size** — the 6-entry load history vs a single entry.
+* **Confidence threshold** — fuse at saturation (3) vs immediately (1).
+* **NCSF nesting depth** — the paper finds depth 2 sufficient.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro import FusionMode, ProcessorConfig, simulate
+from repro.workloads import build_workload
+
+WORKLOAD = "657.xz_1"   # NCSF-dominated: ablations bite hardest here
+
+
+def _helios(config: ProcessorConfig):
+    trace = build_workload(WORKLOAD)
+    return simulate(trace, config.with_mode(FusionMode.HELIOS))
+
+
+def test_ablation_frontend_width(benchmark):
+    """Narrow (rename-width) frontend starves the AQ of NCSF pairs."""
+    wide = ProcessorConfig()
+    narrow = dataclasses.replace(wide, fetch_width=wide.rename_width,
+                                 decode_width=wide.rename_width)
+
+    def run():
+        return _helios(narrow), _helios(wide)
+
+    narrow_result, wide_result = run_once(benchmark, run)
+    print("\nfrontend width ablation on %s:" % WORKLOAD)
+    for label, result in (("narrow (5-wide)", narrow_result),
+                          ("wide (8-wide)", wide_result)):
+        print("  %-16s IPC %.3f  NCSF pairs %d"
+              % (label, result.ipc, result.stats.ncsf_memory_pairs))
+    # The paper's Section V-A insight: the wide frontend finds more
+    # NCSF pairs because the AQ actually fills.
+    assert wide_result.stats.ncsf_memory_pairs \
+        >= narrow_result.stats.ncsf_memory_pairs
+
+
+def test_ablation_uch_size(benchmark):
+    """A single-entry load UCH discovers far fewer distant pairs."""
+    full = ProcessorConfig()
+    tiny = dataclasses.replace(full, uch_load_entries=1)
+
+    def run():
+        return _helios(tiny), _helios(full)
+
+    tiny_result, full_result = run_once(benchmark, run)
+    print("\nUCH size ablation on %s:" % WORKLOAD)
+    for label, result in (("1-entry", tiny_result),
+                          ("6-entry", full_result)):
+        pairs = result.stats.csf_memory_pairs + result.stats.ncsf_memory_pairs
+        print("  %-10s IPC %.3f  fused pairs %d" % (label, result.ipc, pairs))
+    assert full_result.stats.fused_pairs >= tiny_result.stats.fused_pairs
+
+
+def test_ablation_confidence_threshold(benchmark):
+    """Fusing below saturated confidence trades accuracy for coverage."""
+    strict = ProcessorConfig()
+    eager = dataclasses.replace(strict, fp_confidence_max=1)
+
+    def run():
+        return _helios(eager), _helios(strict)
+
+    eager_result, strict_result = run_once(benchmark, run)
+    print("\nconfidence threshold ablation on %s:" % WORKLOAD)
+    for label, result in (("eager (1)", eager_result),
+                          ("saturated (3)", strict_result)):
+        print("  %-14s IPC %.3f  accuracy %.2f%%  attempts %d"
+              % (label, result.ipc, result.fp_accuracy_pct,
+                 result.stats.fp_fusions_attempted))
+    # Both thresholds must fuse a comparable pair population here (this
+    # workload's pairs are extremely stable); saturated confidence keeps
+    # accuracy at least as high as eager fusion.
+    assert eager_result.stats.fp_fusions_attempted \
+        >= 0.9 * strict_result.stats.fp_fusions_attempted
+    assert strict_result.fp_accuracy_pct >= eager_result.fp_accuracy_pct - 0.5
+
+
+def test_ablation_nesting_depth(benchmark):
+    """Depth 2 captures most of the benefit over depth 1 (Section IV-B2)."""
+    depth2 = ProcessorConfig()
+    depth1 = dataclasses.replace(depth2, ncsf_nesting=1)
+    depth4 = dataclasses.replace(depth2, ncsf_nesting=4)
+
+    def run():
+        return _helios(depth1), _helios(depth2), _helios(depth4)
+
+    one, two, four = run_once(benchmark, run)
+    print("\nNCSF nesting ablation on %s:" % WORKLOAD)
+    for label, result in (("depth 1", one), ("depth 2", two),
+                          ("depth 4", four)):
+        print("  %-8s IPC %.3f  NCSF pairs %d"
+              % (label, result.ipc, result.stats.ncsf_memory_pairs))
+    # Deeper nesting never captures fewer pairs (2% tolerance: the
+    # timing feedback between fusion and decode alignment adds noise).
+    assert two.stats.ncsf_memory_pairs >= 0.98 * one.stats.ncsf_memory_pairs
+    # Depth 2 achieves most of depth 4's pair count (the paper's claim).
+    assert two.stats.ncsf_memory_pairs >= 0.8 * four.stats.ncsf_memory_pairs
+
+
+def test_ablation_uop_cache(benchmark):
+    """Caching consecutively fused µ-ops in a µ-op cache (Section IV-A)
+    preserves pair groupings across decode-group misalignment."""
+    plain = ProcessorConfig()
+    cached = dataclasses.replace(plain, uop_cache_enabled=True)
+
+    def run():
+        trace = build_workload("602.gcc_1")
+        return (simulate(trace, plain.with_mode(FusionMode.CSF_SBR)),
+                simulate(trace, cached.with_mode(FusionMode.CSF_SBR)))
+
+    without, with_cache = run_once(benchmark, run)
+    print("\nu-op cache ablation on 602.gcc_1 (CSF-SBR):")
+    for label, result in (("no u-op cache", without),
+                          ("u-op cache", with_cache)):
+        print("  %-14s IPC %.3f  CSF pairs %d"
+              % (label, result.ipc, result.stats.csf_memory_pairs))
+    assert with_cache.stats.csf_memory_pairs \
+        >= without.stats.csf_memory_pairs

@@ -1,0 +1,62 @@
+"""Ablation: fusion predictor organizations (Section IV-A2).
+
+The paper's FP is a tournament of a PC-indexed and a gshare-like
+table; it notes that TAGE-based or local-history predictors could be
+employed instead, and that probabilistic confidence counters trade
+coverage for accuracy.  This benchmark compares all of them on a
+prediction-heavy workload.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro import FusionMode, ProcessorConfig, simulate
+from repro.workloads import build_workload
+
+WORKLOAD = "623.xalancbmk"   # dense NCSF pairs: predictions matter
+
+
+def _run(kind: str, probabilistic: bool = False):
+    config = dataclasses.replace(
+        ProcessorConfig(), fp_kind=kind,
+        fp_probabilistic_confidence=probabilistic)
+    return simulate(build_workload(WORKLOAD),
+                    config.with_mode(FusionMode.HELIOS))
+
+
+def test_ablation_predictor_organizations(benchmark):
+    def run():
+        return {kind: _run(kind) for kind in ("tournament", "tage", "local")}
+
+    results = run_once(benchmark, run)
+    print("\npredictor organization ablation on %s:" % WORKLOAD)
+    for kind, result in results.items():
+        print("  %-11s IPC %.3f  coverage %6.1f%%  accuracy %6.2f%%  "
+              "pairs %d" % (kind, result.ipc, result.fp_coverage_pct,
+                            result.fp_accuracy_pct,
+                            result.stats.fused_pairs))
+    # All three organizations must capture the stable pair population
+    # of this workload (the paper: alternatives "can be employed").
+    baseline_pairs = results["tournament"].stats.fused_pairs
+    for kind in ("tage", "local"):
+        assert results[kind].stats.fused_pairs > 0.7 * baseline_pairs
+        assert results[kind].fp_accuracy_pct > 97.0
+
+
+def test_ablation_probabilistic_confidence(benchmark):
+    def run():
+        return _run("tournament"), _run("tournament", probabilistic=True)
+
+    plain, probabilistic = run_once(benchmark, run)
+    print("\nprobabilistic confidence ablation on %s:" % WORKLOAD)
+    for label, result in (("2-bit counters", plain),
+                          ("probabilistic", probabilistic)):
+        print("  %-15s coverage %6.1f%%  accuracy %6.2f%%  trainings %d"
+              % (label, result.fp_coverage_pct, result.fp_accuracy_pct,
+                 result.core_trainings if hasattr(result, "core_trainings")
+                 else 0))
+    # Probabilistic counters slow saturation: coverage can only drop,
+    # accuracy must not.
+    assert probabilistic.fp_coverage_pct <= plain.fp_coverage_pct + 1.0
+    assert probabilistic.fp_accuracy_pct >= plain.fp_accuracy_pct - 0.5

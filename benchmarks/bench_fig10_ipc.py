@@ -1,0 +1,26 @@
+"""Regenerates Figure 10: IPC of every fusion configuration normalized
+to the no-fusion baseline.
+
+Paper geomeans: RISCVFusion +0.8 %, CSF-SBR +6 %, RISCVFusion++ +7 %,
+Helios +14.2 %, OracleFusion +16.3 %.  The reproduction must preserve
+the ordering and the rough factors: memory fusion beats idiom-only
+fusion; Helios beats every static scheme and approaches the oracle.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_fig10_ipc(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure10(workloads))
+    print("\n" + result.render())
+    _, riscv, csf_sbr, riscv_pp, helios, oracle = result.summary
+    # Ordering of the paper's configurations (small tolerance for
+    # second-order scheduling noise between adjacent configurations).
+    assert riscv >= 0.99            # idiom-only fusion never hurts much
+    assert csf_sbr > riscv - 0.01   # memory pairing beats idiom-only
+    assert riscv_pp >= csf_sbr - 0.01
+    assert helios > csf_sbr         # NCSF beats consecutive-only
+    assert oracle >= helios - 0.02  # the oracle is the upper bound
+    assert helios > 1.04            # a solid uplift over no fusion

@@ -1,0 +1,28 @@
+"""Regenerates Figure 2: fused µ-ops by idiom class (Memory vs Others).
+
+Paper shape: memory pairing idioms dominate on average, with
+bitcount / susan / 657.xz_2 as the Others-dominated exceptions.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_fig2_fusion_mix(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure2(workloads))
+    print("\n" + result.render())
+    table = {row[0]: (row[1], row[2]) for row in result.rows}
+    # Memory pairing dominates the average over the full suite (the
+    # 12-workload benchmark subset deliberately over-samples the
+    # Others-dominated exceptions, so only check there is real memory
+    # pairing potential in that case).
+    if len(result.rows) >= 20:
+        assert result.summary[1] > result.summary[2]
+    else:
+        assert result.summary[1] > 3.0
+    # The paper's named exceptions are Others-dominated.
+    for exception in ("bitcount", "657.xz_2"):
+        if exception in table:
+            memory_pct, others_pct = table[exception]
+            assert others_pct > memory_pct

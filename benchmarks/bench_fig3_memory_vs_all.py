@@ -1,0 +1,21 @@
+"""Regenerates Figure 3: IPC of memory-only vs all-idiom consecutive
+fusion, normalized to no fusion.
+
+Paper shape: the two configurations are within about a point of each
+other on average — memory pairing captures most of fusion's benefit.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_fig3_memory_vs_all(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure3(workloads))
+    print("\n" + result.render())
+    memory_only, all_idioms = result.summary[1], result.summary[2]
+    # Fusion helps on average, and the all-idiom gain over memory-only
+    # fusion is small (the paper reports ~1 percentage point).
+    assert all_idioms >= memory_only - 0.01
+    assert all_idioms - memory_only < 0.10
+    assert memory_only > 1.0

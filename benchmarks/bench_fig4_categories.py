@@ -1,0 +1,19 @@
+"""Regenerates Figure 4: consecutive memory pair contiguity categories.
+
+Paper shape: exactly-contiguous pairs dominate (what Armv8 ldp/stp can
+express); overlapping pairs are rare; a further slice would only fuse
+under non-contiguous (SameLine/NextLine) microarchitectural fusion.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_fig4_categories(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure4(workloads))
+    print("\n" + result.render())
+    _, contiguous, overlapping, same_line, next_line = result.summary
+    assert contiguous > same_line + next_line  # contiguous dominates
+    assert overlapping <= contiguous           # overlap is rare
+    assert same_line + next_line >= 0.0        # the NCTF-only slice

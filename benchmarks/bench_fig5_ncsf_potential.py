@@ -1,0 +1,20 @@
+"""Regenerates Figure 5: additional potential from non-consecutive and
+different-base-register fusion.
+
+Paper shape: NCSF adds a substantial slice on top of CSF; a noticeable
+fraction of NCSF pairs are asymmetric; DBR pairs exist that no static
+scheme can see.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_fig5_ncsf_potential(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure5(workloads))
+    print("\n" + result.render())
+    _, csf, ncsf, dbr, asym, mean_dist = result.summary
+    assert ncsf > 0.5          # non-consecutive potential exists
+    assert dbr > 0.0           # and some of it uses different bases
+    assert mean_dist >= 2.0    # beyond any decode group

@@ -1,0 +1,23 @@
+"""Regenerates Figure 8: CSF and NCSF fused pairs, Helios vs Oracle,
+relative to dynamic memory instructions.
+
+Paper shape: Helios approaches the oracle's total; Helios's CSF share
+is at least as high as the oracle's (its UCH training favours close
+pairs), with the oracle winning on NCSF.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_fig8_pairs(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure8(workloads))
+    print("\n" + result.render())
+    _, h_csf, h_ncsf, o_csf, o_ncsf = result.summary
+    helios_total = h_csf + h_ncsf
+    oracle_total = o_csf + o_ncsf
+    assert helios_total > 0
+    assert oracle_total >= helios_total * 0.85  # Helios nears the bound
+    assert helios_total >= oracle_total * 0.70
+    assert h_ncsf > 0  # non-consecutive pairs are actually captured

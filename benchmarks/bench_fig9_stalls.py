@@ -1,0 +1,24 @@
+"""Regenerates Figure 9: rename and dispatch structural stalls as a
+percentage of execution cycles, for baseline / Helios / Oracle.
+
+Paper shape: applications with heavy baseline dispatch stalls (full
+SQ, e.g. 657.xz_1) see fusion remove a large share of them.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_fig9_stalls(benchmark, workloads):
+    result = run_once(benchmark, lambda: figure9(workloads))
+    print("\n" + result.render())
+    _, base_ren, base_dis, helios_ren, helios_dis, *_ = result.summary
+    # Fusion reduces dispatch stalls on average.
+    assert helios_dis <= base_dis + 0.5
+    # The store-bound workload shows the paper's signature behaviour.
+    table = {row[0]: row for row in result.rows}
+    if "657.xz_1" in table:
+        row = table["657.xz_1"]
+        assert row[2] > 20.0           # baseline dispatch-stall heavy
+        assert row[4] < row[2]         # Helios removes a big share

@@ -1,0 +1,17 @@
+"""Regenerates Table I: the RISC-V fusion idiom set with dynamic pair
+counts across the workload suite."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_idioms(benchmark, workloads):
+    result = run_once(benchmark, lambda: table1(workloads))
+    print("\n" + result.render())
+    # Every idiom family must be represented in the suite.
+    counted = {row[0]: row[3] for row in result.rows}
+    assert counted["load_pair"] > 0
+    assert counted["store_pair"] > 0
+    assert counted["lui_addi"] > 0
+    assert counted["mulh_mul"] > 0

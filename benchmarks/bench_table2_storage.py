@@ -1,0 +1,26 @@
+"""Regenerates Table II: processor configuration and the Helios
+storage budget.
+
+The budget formulas reproduce the paper's per-structure numbers
+exactly where the paper states them: 280-bit UCH, 72 Kbit fusion
+predictor, 1.37 Kbit of AQ tags, 704 ROB commit-group bits, and
+6336 bits of flush pointers.
+"""
+
+from conftest import run_once
+
+from repro.core.storage import helios_storage_budget
+from repro.experiments import table2
+
+
+def test_table2_storage(benchmark):
+    result = run_once(benchmark, table2)
+    print("\n" + result.render())
+    budget = helios_storage_budget()
+    assert budget.items["uch"] == 280
+    assert budget.items["fusion_predictor"] == 73728        # 72 Kbit
+    assert budget.items["aq_nucleus_bits_and_tags"] == 1400  # 1.37 Kbit
+    assert budget.items["rob_commit_group_bits"] == 704
+    assert budget.items["flush_pointers"] == 6336
+    # The pipeline-side total lands in the paper's few-Kbit regime.
+    assert budget.ncsf_bits < 8 * 1024

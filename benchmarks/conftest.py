@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+By default the pipeline-simulation benchmarks run on a representative
+subset of the catalog so the whole suite finishes in a few minutes;
+set ``REPRO_BENCH_WORKLOADS=all`` to sweep all 32 workloads (as the
+EXPERIMENTS.md numbers were produced), or pass a comma-separated list
+of names.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import workload_names
+
+#: Representative subset: store-bound, struct-walk, pointer-chase,
+#: Others-dominated, DBR, branchy, and crypto-table behaviours.
+DEFAULT_SUBSET = [
+    "600.perlbench_1", "602.gcc_1", "605.mcf", "623.xalancbmk",
+    "657.xz_1", "657.xz_2", "bitcount", "dijkstra", "qsort",
+    "rijndael", "sha", "typeset",
+]
+
+
+def bench_workloads():
+    """The workload list benchmarks run on (env-var overridable)."""
+    selection = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if selection.lower() == "all":
+        return workload_names()
+    if selection:
+        return [name.strip() for name in selection.split(",") if name.strip()]
+    return list(DEFAULT_SUBSET)
+
+
+@pytest.fixture
+def workloads():
+    return bench_workloads()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""Fusion-opportunity census for a catalog workload.
+
+Shows the Section II-A taxonomy in action: how many pairs are
+consecutive vs non-consecutive, contiguous vs same-line vs
+line-crossing, same- vs different-base-register — the analyses behind
+the paper's motivation figures (2, 4, 5).
+
+Run:  python examples/fusion_census.py [workload]
+"""
+
+import sys
+from collections import Counter
+
+from repro.fusion import analyze_trace
+from repro.fusion.taxonomy import BaseRegKind
+from repro.workloads import CATALOG, build_workload, workload_names
+
+
+def main(name: str):
+    spec = CATALOG[name]
+    print("workload: %s (%s)\n  %s\n" % (name, spec.suite, spec.description))
+    trace = build_workload(name)
+    analysis = analyze_trace(trace)
+
+    print("dynamic u-ops: %d (%.1f%% memory, %d loads / %d stores)" % (
+        len(trace), 100 * trace.memory_fraction(),
+        trace.num_loads, trace.num_stores))
+
+    csf, ncsf = analysis.csf_pairs, analysis.ncsf_pairs
+    print("\noracle memory pairs (span <= 64B, legality checked):")
+    print("  consecutive (CSF):      %5d" % len(csf))
+    print("  non-consecutive (NCSF): %5d  (mean distance %.1f u-ops)"
+          % (len(ncsf), analysis.mean_catalyst_distance))
+    dbr = sum(1 for p in analysis.memory_pairs
+              if p.base_kind is BaseRegKind.DBR)
+    print("  different base register: %4d" % dbr)
+    print("  asymmetric NCSF:        %5.1f%%"
+          % (100 * analysis.ncsf_asymmetric_fraction))
+
+    print("\nconsecutive pair contiguity (Figure 4 categories):")
+    for category, count in analysis.contiguity_histogram().items():
+        if count:
+            print("  %-12s %5d" % (category.value, count))
+
+    print("\nnon-memory Table I idiom pairs:")
+    for idiom, count in Counter(p.idiom for p in analysis.other_pairs).items():
+        print("  %-12s %5d" % (idiom, count))
+
+    print("\nfused u-ops if all consecutive pairs fused: %.1f%% memory,"
+          " %.1f%% others (paper averages: 5.6%% / 1.1%%)"
+          % (100 * analysis.memory_fused_uop_fraction,
+             100 * analysis.other_fused_uop_fraction))
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "623.xalancbmk"
+    if workload not in CATALOG:
+        print("unknown workload %r; available:\n  %s"
+              % (workload, "\n  ".join(workload_names())))
+        raise SystemExit(1)
+    main(workload)

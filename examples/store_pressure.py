@@ -1,0 +1,39 @@
+"""Store-queue pressure study: where memory fusion pays the most.
+
+Reproduces the paper's 657.xz observation in miniature: when dispatch
+spends most of its cycles waiting for a store-queue entry, store-pair
+fusion (one SQ entry and one drain slot for two stores) buys large IPC
+gains.  The example sweeps the SQ size to move the bottleneck and shows
+the fusion uplift at each point.
+
+Run:  python examples/store_pressure.py
+"""
+
+import dataclasses
+
+from repro import FusionMode, ProcessorConfig, simulate
+from repro.workloads import build_workload
+
+
+def main():
+    trace = build_workload("657.xz_1")
+    print("workload: 657.xz_1 stand-in (%d instructions)\n" % len(trace))
+    print("%6s | %9s %9s %9s | %s"
+          % ("SQ", "base IPC", "CSF-SBR", "Helios", "baseline SQ-stall%"))
+    for sq_size in (24, 40, 56, 72, 104):
+        config = dataclasses.replace(ProcessorConfig(), sq_size=sq_size)
+        base = simulate(trace, config)
+        csf = simulate(trace, config.with_mode(FusionMode.CSF_SBR))
+        helios = simulate(trace, config.with_mode(FusionMode.HELIOS))
+        stall = 100.0 * base.stats.dispatch_stall_sq / base.cycles
+        print("%6d | %9.3f %+8.1f%% %+8.1f%% | %17.1f%%"
+              % (sq_size, base.ipc,
+                 100 * (csf.ipc / base.ipc - 1),
+                 100 * (helios.ipc / base.ipc - 1),
+                 stall))
+    print("\nSmaller SQs shift the bottleneck to the store queue;"
+          " fusion relieves exactly that pressure.")
+
+
+if __name__ == "__main__":
+    main()

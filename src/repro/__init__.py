@@ -1,0 +1,34 @@
+"""repro — a reproduction of *"Exploring Instruction Fusion Opportunities
+in General Purpose Processors"* (Singh, Perais, Jimborean, Ros — MICRO
+2022), including the Helios microarchitecture.
+
+Quick start::
+
+    from repro import FusionMode, ProcessorConfig, simulate
+    from repro.workloads import build_workload
+
+    trace = build_workload("dijkstra")
+    helios = simulate(trace, ProcessorConfig().with_mode(FusionMode.HELIOS))
+    baseline = simulate(trace, ProcessorConfig())
+    print("IPC uplift: %.1f%%" % (100 * (helios.ipc / baseline.ipc - 1)))
+"""
+
+from repro.config import CacheConfig, FusionMode, ProcessorConfig, paper_configurations
+from repro.core.results import SimResult
+from repro.core.simulator import ipc_uplift, simulate, simulate_modes
+from repro.core.storage import helios_storage_budget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "FusionMode",
+    "ProcessorConfig",
+    "SimResult",
+    "helios_storage_budget",
+    "ipc_uplift",
+    "paper_configurations",
+    "simulate",
+    "simulate_modes",
+    "__version__",
+]

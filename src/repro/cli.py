@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+::
+
+    python -m repro workloads                 # list the catalog
+    python -m repro simulate dijkstra         # all six configurations
+    python -m repro simulate 657.xz_1 --mode Helios --fp-kind tage
+    python -m repro experiment fig10 --workloads 657.xz_1,605.mcf
+    python -m repro storage                   # Table II budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.core.simulator import ipc_uplift, simulate, simulate_modes
+from repro.core.storage import helios_storage_budget
+from repro.experiments import (
+    figure2, figure3, figure4, figure5, figure8, figure9, figure10,
+    table1, table2, table3,
+)
+from repro.workloads import CATALOG, build_workload, workload_names
+
+_EXPERIMENTS = {
+    "fig2": figure2, "fig3": figure3, "fig4": figure4, "fig5": figure5,
+    "fig8": figure8, "fig9": figure9, "fig10": figure10,
+    "table1": table1, "table3": table3,
+}
+
+_MODES = {mode.value.lower(): mode for mode in FusionMode}
+
+
+def _parse_mode(text: str) -> FusionMode:
+    try:
+        return _MODES[text.lower()]
+    except KeyError:
+        raise SystemExit("unknown mode %r; choose from: %s"
+                         % (text, ", ".join(m.value for m in FusionMode)))
+
+
+def _workload_list(arg: Optional[str]) -> Optional[List[str]]:
+    if not arg:
+        return None
+    names = [n.strip() for n in arg.split(",") if n.strip()]
+    for name in names:
+        if name not in CATALOG:
+            raise SystemExit("unknown workload %r (see `repro workloads`)"
+                             % name)
+    return names
+
+
+def _cmd_workloads(_args) -> int:
+    print("%-17s %-8s %7s  %s" % ("name", "suite", "u-ops", "description"))
+    for name in workload_names():
+        spec = CATALOG[name]
+        print("%-17s %-8s %7d  %s" % (name, spec.suite,
+                                      len(build_workload(name)),
+                                      spec.description))
+    return 0
+
+
+def _config_from(args) -> ProcessorConfig:
+    config = ProcessorConfig()
+    if getattr(args, "fp_kind", None):
+        config = dataclasses.replace(config, fp_kind=args.fp_kind)
+    return config
+
+
+def _cmd_simulate(args) -> int:
+    if args.workload not in CATALOG:
+        raise SystemExit("unknown workload %r (see `repro workloads`)"
+                         % args.workload)
+    trace = build_workload(args.workload)
+    config = _config_from(args)
+    if args.mode:
+        result = simulate(trace, config.with_mode(_parse_mode(args.mode)),
+                          name=args.workload)
+        print(result.summary())
+        return 0
+    results = simulate_modes(trace, base_config=config, name=args.workload)
+    uplift = ipc_uplift(results)
+    print("%-15s %8s %9s" % ("configuration", "IPC", "vs base"))
+    for name, result in results.items():
+        print("%-15s %8.3f %+8.1f%%"
+              % (name, result.ipc, 100 * (uplift[name] - 1)))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name == "table2":
+        print(table2().render())
+        return 0
+    runner = _EXPERIMENTS.get(args.name)
+    if runner is None:
+        raise SystemExit("unknown experiment %r; choose from: %s, table2"
+                         % (args.name, ", ".join(sorted(_EXPERIMENTS))))
+    print(runner(_workload_list(args.workloads)).render())
+    return 0
+
+
+def _cmd_storage(_args) -> int:
+    print(helios_storage_budget().report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Helios instruction-fusion reproduction (MICRO 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload catalog") \
+        .set_defaults(func=_cmd_workloads)
+
+    sim = sub.add_parser("simulate", help="simulate one workload")
+    sim.add_argument("workload")
+    sim.add_argument("--mode", help="one configuration (default: all six)")
+    sim.add_argument("--fp-kind", choices=["tournament", "tage", "local"],
+                     help="fusion predictor organization for Helios")
+    sim.set_defaults(func=_cmd_simulate)
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper table/figure")
+    exp.add_argument("name", help="fig2|fig3|fig4|fig5|fig8|fig9|fig10|"
+                                  "table1|table2|table3")
+    exp.add_argument("--workloads",
+                     help="comma-separated subset (default: all 32)")
+    exp.set_defaults(func=_cmd_experiment)
+
+    sub.add_parser("storage", help="print the Table II storage budget") \
+        .set_defaults(func=_cmd_storage)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`: exit quietly like other CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

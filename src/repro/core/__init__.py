@@ -1,0 +1,14 @@
+"""Public simulation API.
+
+* :func:`repro.core.simulator.simulate` — run one workload under one
+  configuration and get a :class:`~repro.core.results.SimResult`.
+* :func:`repro.core.simulator.simulate_modes` — sweep the paper's
+  configurations over one trace.
+* :mod:`repro.core.storage` — the Table II storage-cost calculator.
+"""
+
+from repro.core.results import SimResult
+from repro.core.simulator import simulate, simulate_modes
+from repro.core.storage import helios_storage_budget
+
+__all__ = ["SimResult", "helios_storage_budget", "simulate", "simulate_modes"]

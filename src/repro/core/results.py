@@ -1,0 +1,150 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import FusionMode
+from repro.pipeline.core import CoreStats
+
+
+@dataclass
+class SimResult:
+    """One (workload, configuration) simulation outcome.
+
+    Wraps the raw pipeline counters and exposes the derived metrics the
+    paper reports: IPC, fused-pair percentages (Figure 8 uses total
+    dynamic *memory* instructions as the denominator; Figure 2 uses all
+    dynamic µ-ops), predictor coverage/accuracy/MPKI (Table III), and
+    stall breakdowns (Figure 9).
+    """
+
+    workload: str
+    mode: FusionMode
+    stats: CoreStats
+    total_memory_uops: int = 0
+    eligible_predictive_pairs: int = 0
+
+    # -- headline -------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    # -- fused pair metrics -----------------------------------------------------
+
+    @property
+    def csf_pair_pct_of_memory(self) -> float:
+        """CSF memory pairs / dynamic memory instructions (Figure 8)."""
+        if not self.total_memory_uops:
+            return 0.0
+        return 100.0 * self.stats.csf_memory_pairs / self.total_memory_uops
+
+    @property
+    def ncsf_pair_pct_of_memory(self) -> float:
+        """NCSF memory pairs / dynamic memory instructions (Figure 8)."""
+        if not self.total_memory_uops:
+            return 0.0
+        return 100.0 * self.stats.ncsf_memory_pairs / self.total_memory_uops
+
+    @property
+    def fused_uop_pct(self) -> float:
+        """% of dynamic instructions that are part of any fused pair."""
+        if not self.instructions:
+            return 0.0
+        return 100.0 * 2 * self.stats.fused_pairs / self.instructions
+
+    @property
+    def memory_fused_uop_pct(self) -> float:
+        """% of dynamic instructions inside *memory* fused pairs."""
+        if not self.instructions:
+            return 0.0
+        pairs = self.stats.csf_memory_pairs + self.stats.ncsf_memory_pairs
+        return 100.0 * 2 * pairs / self.instructions
+
+    @property
+    def other_fused_uop_pct(self) -> float:
+        """% of dynamic instructions inside 'Others' idiom pairs."""
+        if not self.instructions:
+            return 0.0
+        return 100.0 * 2 * self.stats.other_pairs / self.instructions
+
+    @property
+    def mean_ncsf_distance(self) -> float:
+        if not self.stats.ncsf_memory_pairs:
+            return 0.0
+        return self.stats.ncsf_distance_sum / self.stats.ncsf_memory_pairs
+
+    # -- fusion predictor metrics (Table III) ------------------------------------
+
+    @property
+    def fp_coverage_pct(self) -> float:
+        """Correctly fused predictive pairs / oracle-eligible pairs."""
+        if not self.eligible_predictive_pairs:
+            return 0.0
+        return min(100.0, 100.0 * self.stats.fp_fusions_correct
+                   / self.eligible_predictive_pairs)
+
+    @property
+    def fp_accuracy_pct(self) -> float:
+        """Correct fusions / (correct + address mispredictions)."""
+        resolved = (self.stats.fp_fusions_correct
+                    + self.stats.fp_address_mispredictions)
+        if not resolved:
+            return 100.0
+        return 100.0 * self.stats.fp_fusions_correct / resolved
+
+    @property
+    def fp_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.stats.fp_address_mispredictions / self.instructions
+
+    # -- stalls (Figure 9) --------------------------------------------------------
+
+    @property
+    def rename_stall_pct(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return 100.0 * self.stats.rename_stall_cycles / self.cycles
+
+    @property
+    def dispatch_stall_pct(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return 100.0 * self.stats.dispatch_stall_cycles / self.cycles
+
+    def dispatch_stall_breakdown(self) -> Dict[str, int]:
+        return {
+            "rob": self.stats.dispatch_stall_rob,
+            "iq": self.stats.dispatch_stall_iq,
+            "lq": self.stats.dispatch_stall_lq,
+            "sq": self.stats.dispatch_stall_sq,
+        }
+
+    def summary(self) -> str:
+        """A one-workload human-readable report."""
+        lines = [
+            "%s / %s" % (self.workload, self.mode.value),
+            "  IPC %.3f  (%d instructions, %d cycles)"
+            % (self.ipc, self.instructions, self.cycles),
+            "  fused pairs: CSF-mem %d, NCSF-mem %d, others %d"
+            % (self.stats.csf_memory_pairs, self.stats.ncsf_memory_pairs,
+               self.stats.other_pairs),
+            "  stalls: rename %.1f%%, dispatch %.1f%%"
+            % (self.rename_stall_pct, self.dispatch_stall_pct),
+        ]
+        if self.mode is FusionMode.HELIOS:
+            lines.append(
+                "  FP: coverage %.1f%%, accuracy %.2f%%, MPKI %.4f"
+                % (self.fp_coverage_pct, self.fp_accuracy_pct, self.fp_mpki))
+        return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Top-level simulation entry points (the library's main public API).
+
+Typical use::
+
+    from repro import simulate, ProcessorConfig, FusionMode
+    from repro.workloads import build_workload
+
+    trace = build_workload("dijkstra")
+    result = simulate(trace, ProcessorConfig().with_mode(FusionMode.HELIOS))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.core.results import SimResult
+from repro.fusion.oracle import oracle_memory_pairs
+from repro.fusion.taxonomy import BaseRegKind, Contiguity
+from repro.isa.interp import run_program
+from repro.isa.program import Program
+from repro.isa.trace import Trace
+from repro.pipeline.core import PipelineCore
+
+
+def count_eligible_predictive_pairs(trace: Trace,
+                                    config: ProcessorConfig) -> int:
+    """Pairs that *need* a prediction: NCSF pairs plus CSF pairs that a
+    static decode window cannot see (different base register or
+    non-contiguous addresses).  This is the Table III coverage
+    denominator.
+    """
+    pairs = oracle_memory_pairs(
+        trace, granularity=config.cache_access_granularity,
+        max_distance=config.max_fusion_distance)
+    eligible = 0
+    for pair in pairs:
+        statically_visible = (
+            pair.consecutive
+            and pair.base_kind is BaseRegKind.SBR
+            and pair.contiguity is Contiguity.CONTIGUOUS)
+        if not statically_visible:
+            eligible += 1
+    return eligible
+
+
+def simulate(workload: Union[Program, Trace],
+             config: Optional[ProcessorConfig] = None,
+             name: Optional[str] = None,
+             max_cycles: Optional[int] = None) -> SimResult:
+    """Run one workload under one configuration.
+
+    ``workload`` may be an assembled :class:`Program` (interpreted
+    first) or an already-captured :class:`Trace`.
+    """
+    config = config or ProcessorConfig()
+    trace = run_program(workload) if isinstance(workload, Program) else workload
+    core = PipelineCore(trace, config)
+    stats = core.run(max_cycles=max_cycles)
+    eligible = 0
+    if config.fusion_mode is FusionMode.HELIOS:
+        eligible = count_eligible_predictive_pairs(trace, config)
+    return SimResult(
+        workload=name or trace.name,
+        mode=config.fusion_mode,
+        stats=stats,
+        total_memory_uops=trace.num_memory,
+        eligible_predictive_pairs=eligible,
+    )
+
+
+def simulate_modes(workload: Union[Program, Trace],
+                   modes: Optional[Iterable[FusionMode]] = None,
+                   base_config: Optional[ProcessorConfig] = None,
+                   name: Optional[str] = None) -> Dict[str, SimResult]:
+    """Sweep fusion modes over one workload; returns mode-name -> result."""
+    base = base_config or ProcessorConfig()
+    trace = run_program(workload) if isinstance(workload, Program) else workload
+    if modes is None:
+        modes = list(FusionMode)
+    return {
+        mode.value: simulate(trace, base.with_mode(mode), name=name)
+        for mode in modes
+    }
+
+
+def ipc_uplift(results: Dict[str, SimResult],
+               baseline: str = FusionMode.NONE.value) -> Dict[str, float]:
+    """IPC of each configuration normalized to a baseline (Figure 10)."""
+    base_ipc = results[baseline].ipc
+    if base_ipc == 0:
+        return {name: 0.0 for name in results}
+    return {name: result.ipc / base_ipc for name, result in results.items()}

@@ -1,0 +1,27 @@
+"""Experiment harness: regenerates every table and figure of the
+paper's evaluation (see DESIGN.md §5 for the experiment index).
+
+* :mod:`repro.experiments.runner` — cached (workload x configuration)
+  simulation sweeps.
+* :mod:`repro.experiments.figures` — Figures 2, 3, 4, 5, 8, 9, 10.
+* :mod:`repro.experiments.tables` — Tables I, II, III.
+"""
+
+from repro.experiments.figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure8,
+    figure9,
+    figure10,
+)
+from repro.experiments.runner import get_result, run_suite
+from repro.experiments.tables import table1, table2, table3
+
+__all__ = [
+    "figure2", "figure3", "figure4", "figure5",
+    "figure8", "figure9", "figure10",
+    "get_result", "run_suite",
+    "table1", "table2", "table3",
+]

@@ -1,0 +1,52 @@
+"""Cached simulation sweeps over the workload catalog.
+
+Results for the default :class:`~repro.config.ProcessorConfig` are
+memoised per (workload, mode) within the process, so the figure and
+table generators — which share most of their sweeps — only pay for
+each simulation once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.core.results import SimResult
+from repro.core.simulator import simulate
+from repro.workloads import build_workload, workload_names
+
+_CACHE: Dict[tuple, SimResult] = {}
+_DEFAULT_CONFIG = ProcessorConfig()
+
+
+def get_result(workload: str, mode: FusionMode,
+               config: Optional[ProcessorConfig] = None) -> SimResult:
+    """Simulate one (workload, mode) pair, memoised for the default config."""
+    cacheable = config is None
+    if cacheable:
+        key = (workload, mode)
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+    base = config or _DEFAULT_CONFIG
+    result = simulate(build_workload(workload), base.with_mode(mode),
+                      name=workload)
+    if cacheable:
+        _CACHE[(workload, mode)] = result
+    return result
+
+
+def run_suite(modes: Iterable[FusionMode],
+              workloads: Optional[List[str]] = None,
+              config: Optional[ProcessorConfig] = None,
+              ) -> Dict[str, Dict[str, SimResult]]:
+    """Sweep workloads x modes; returns results[workload][mode.value]."""
+    names = workloads if workloads is not None else workload_names()
+    return {
+        name: {mode.value: get_result(name, mode, config) for mode in modes}
+        for name in names
+    }
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,227 @@
+"""Oracle fusion-pair discovery (the paper's OracleFusion and the
+motivation studies of Section III).
+
+The oracle sees resolved effective addresses and the full dynamic
+stream, so it can pair µ-ops that static decode-time information cannot
+(non-consecutive, non-contiguous, different-base-register pairs).  It
+still honours the correctness constraints that any implementation must:
+
+* both µ-ops are loads, or both are stores;
+* the combined byte span fits in the cache access granularity;
+* the tail nucleus does not depend — directly or transitively through
+  the catalyst — on the head nucleus (the deadlock case, Section IV-B2);
+* no serializing µ-op inside the catalyst;
+* store pairs have no other store inside the catalyst (memory
+  consistency, Section IV-B4);
+* each µ-op fuses at most once (2-µop fusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fusion.idioms import match_idiom
+from repro.fusion.taxonomy import (
+    BaseRegKind,
+    Contiguity,
+    FusedPair,
+    classify_contiguity,
+    make_memory_pair,
+    span,
+)
+from repro.isa.trace import MicroOp, Trace
+
+
+def oracle_memory_pairs(trace: Sequence[MicroOp],
+                        granularity: int = 64,
+                        max_distance: int = 64,
+                        consecutive_only: bool = False,
+                        require_same_base: bool = False,
+                        require_contiguous: bool = False,
+                        allow_asymmetric: bool = True,
+                        stores_sbr_only: bool = True) -> List[FusedPair]:
+    """Greedy oldest-first oracle pairing of memory µ-ops.
+
+    With ``consecutive_only``/``require_same_base``/``require_contiguous``
+    the same routine also produces the restricted censuses used by the
+    motivation figures (e.g. consecutive-contiguous-SBR pairs for
+    Figure 4's `Contiguous` category).
+    """
+    uops = list(trace)
+    fused = [False] * (uops[-1].seq + 1 if uops else 0)
+    pairs: List[FusedPair] = []
+    horizon = 1 if consecutive_only else max_distance
+
+    for i, head in enumerate(uops):
+        if not head.is_memory or fused[head.seq]:
+            continue
+        tainted = {head.dest} if head.dest is not None else set()
+        for j in range(i + 1, min(i + 1 + horizon, len(uops))):
+            tail = uops[j]
+            if tail.is_serializing:
+                break  # cannot fuse across a fence / system op
+            if _eligible_pair(head, tail, tainted, fused, granularity,
+                              require_same_base, require_contiguous,
+                              allow_asymmetric, stores_sbr_only):
+                fused[head.seq] = True
+                fused[tail.seq] = True
+                pairs.append(make_memory_pair(head, tail, granularity))
+                break
+            # Propagate taint through the catalyst for deadlock detection.
+            if tail.dest is not None:
+                if any(src in tainted for src in tail.srcs):
+                    tainted.add(tail.dest)
+                else:
+                    tainted.discard(tail.dest)
+            # A store in the catalyst forbids any later store pairing.
+            if head.is_store and tail.is_store:
+                break
+    return pairs
+
+
+def _eligible_pair(head: MicroOp, tail: MicroOp, tainted: set,
+                   fused: List[bool], granularity: int,
+                   require_same_base: bool, require_contiguous: bool,
+                   allow_asymmetric: bool, stores_sbr_only: bool) -> bool:
+    if head.is_load != tail.is_load or not tail.is_memory:
+        return False
+    if fused[tail.seq]:
+        return False
+    if not allow_asymmetric and head.size != tail.size:
+        return False
+    same_base = head.base_reg == tail.base_reg
+    if require_same_base and not same_base:
+        return False
+    if head.is_store and stores_sbr_only and not same_base:
+        return False
+    if span(head.addr, head.size, tail.addr, tail.size) > granularity:
+        return False
+    contiguity = classify_contiguity(head, tail, granularity)
+    if require_contiguous and contiguity is not Contiguity.CONTIGUOUS:
+        return False
+    # Deadlock: the tail must not (transitively) consume the head's result.
+    if any(src in tainted for src in tail.srcs):
+        return False
+    # A fused load pair writes two distinct destination registers.
+    if head.is_load and head.dest is not None and head.dest == tail.dest:
+        return False
+    # Never take a pointer-chase step (a load overwriting its own base
+    # register) as a *non-consecutive* tail: the fused µ-op would delay
+    # the chase's critical dereference until the head's sources are
+    # ready, which can only hurt.
+    if tail.seq != head.seq + 1 and tail.is_load             and tail.dest is not None and tail.dest == tail.base_reg:
+        return False
+    return True
+
+
+def consecutive_memory_pairs(trace: Sequence[MicroOp],
+                             granularity: int = 64,
+                             require_same_base: bool = True,
+                             allow_asymmetric: bool = True) -> List[FusedPair]:
+    """Adjacent memory pairs fuseable by address (Figure 4's census)."""
+    return oracle_memory_pairs(
+        trace, granularity=granularity, consecutive_only=True,
+        require_same_base=require_same_base,
+        allow_asymmetric=allow_asymmetric)
+
+
+def oracle_other_pairs(trace: Sequence[MicroOp],
+                       exclude: Optional[Sequence[FusedPair]] = None) -> List[FusedPair]:
+    """Consecutive non-memory Table I idiom pairs.
+
+    ``exclude`` marks µ-ops already claimed (e.g. by memory pairing) so
+    the censuses compose the way a real decode window would.
+    """
+    uops = list(trace)
+    taken = set()
+    for pair in exclude or ():
+        taken.add(pair.head_seq)
+        taken.add(pair.tail_seq)
+    pairs: List[FusedPair] = []
+    i = 0
+    while i + 1 < len(uops):
+        head, tail = uops[i], uops[i + 1]
+        if (head.seq not in taken and tail.seq not in taken
+                and tail.seq == head.seq + 1):
+            idiom = match_idiom(head.inst, tail.inst)
+            if idiom is not None:
+                pairs.append(FusedPair(head_seq=head.seq, tail_seq=tail.seq,
+                                       idiom=idiom.name, is_memory=False))
+                i += 2
+                continue
+        i += 1
+    return pairs
+
+
+@dataclass
+class OracleAnalysis:
+    """Aggregated oracle census over one trace (Figures 2, 4, 5)."""
+
+    total_uops: int
+    total_memory: int
+    memory_pairs: List[FusedPair] = field(default_factory=list)
+    consecutive_pairs: List[FusedPair] = field(default_factory=list)
+    other_pairs: List[FusedPair] = field(default_factory=list)
+
+    # -- Figure 2 ---------------------------------------------------------
+
+    @property
+    def memory_fused_uop_fraction(self) -> float:
+        """Fraction of dynamic µ-ops inside consecutive memory pairs."""
+        return 2 * len(self.consecutive_pairs) / max(1, self.total_uops)
+
+    @property
+    def other_fused_uop_fraction(self) -> float:
+        """Fraction of dynamic µ-ops inside 'Others' idiom pairs."""
+        return 2 * len(self.other_pairs) / max(1, self.total_uops)
+
+    # -- Figure 4 ---------------------------------------------------------
+
+    def contiguity_histogram(self) -> Dict[Contiguity, int]:
+        histogram: Dict[Contiguity, int] = {kind: 0 for kind in Contiguity}
+        for pair in self.consecutive_pairs:
+            histogram[pair.contiguity] += 1
+        return histogram
+
+    # -- Figure 5 ---------------------------------------------------------
+
+    @property
+    def ncsf_pairs(self) -> List[FusedPair]:
+        return [p for p in self.memory_pairs if not p.consecutive]
+
+    @property
+    def csf_pairs(self) -> List[FusedPair]:
+        return [p for p in self.memory_pairs if p.consecutive]
+
+    @property
+    def dbr_pairs(self) -> List[FusedPair]:
+        return [p for p in self.memory_pairs if p.base_kind is BaseRegKind.DBR]
+
+    @property
+    def ncsf_asymmetric_fraction(self) -> float:
+        ncsf = self.ncsf_pairs
+        if not ncsf:
+            return 0.0
+        return sum(1 for p in ncsf if not p.symmetric) / len(ncsf)
+
+    @property
+    def mean_catalyst_distance(self) -> float:
+        ncsf = self.ncsf_pairs
+        if not ncsf:
+            return 0.0
+        return sum(p.distance for p in ncsf) / len(ncsf)
+
+
+def analyze_trace(trace: Trace, granularity: int = 64,
+                  max_distance: int = 64) -> OracleAnalysis:
+    """Run the full oracle census used by the motivation figures."""
+    consecutive = consecutive_memory_pairs(trace, granularity=granularity)
+    return OracleAnalysis(
+        total_uops=len(trace),
+        total_memory=trace.num_memory,
+        memory_pairs=oracle_memory_pairs(trace, granularity=granularity,
+                                         max_distance=max_distance),
+        consecutive_pairs=consecutive,
+        other_pairs=oracle_other_pairs(trace, exclude=consecutive),
+    )

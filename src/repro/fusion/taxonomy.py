@@ -1,0 +1,143 @@
+"""Fusion taxonomy (paper Section II-A).
+
+* **CSF / NCSF** — the two µ-ops are consecutive / non-consecutive in
+  the dynamic stream.  The µ-ops between the nucleii are the *catalyst*.
+* **CTF / NCTF** — the two memory accesses touch contiguous /
+  non-contiguous bytes.
+* **SBR / DBR** — the two memory µ-ops use the same / a different base
+  register.
+* The older µ-op of a pair is the **head nucleus**; the younger is the
+  **tail nucleus**.
+
+Two memory accesses are microarchitecturally fuseable when their
+combined byte span fits within the cache access granularity (64 B in
+the paper, Section III-C) — this admits contiguous, overlapping,
+same-line, and line-crossing ("next line") pairs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.trace import MicroOp
+
+
+class Contiguity(enum.Enum):
+    """Figure 4's mutually exclusive memory pair categories."""
+
+    #: Accesses touch exactly adjacent, non-overlapping bytes
+    #: (what Armv8 ldp/stp can express architecturally).
+    CONTIGUOUS = "Contiguous"
+    #: Accesses share at least one byte.
+    OVERLAPPING = "Overlapping"
+    #: Same 64 B cache line, with a gap between the accesses.
+    SAME_LINE = "SameLine"
+    #: Different cache lines but a combined span <= the access
+    #: granularity (served like a single line-crossing access).
+    NEXT_LINE = "NextLine"
+    #: Not fuseable: span exceeds the cache access granularity.
+    TOO_FAR = "TooFar"
+
+    @property
+    def fuseable(self) -> bool:
+        return self is not Contiguity.TOO_FAR
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self is Contiguity.CONTIGUOUS
+
+
+class BaseRegKind(enum.Enum):
+    """Whether the pair shares an architectural base register."""
+
+    SBR = "SameBaseReg"
+    DBR = "DifferentBaseReg"
+
+
+def span(addr_a: int, size_a: int, addr_b: int, size_b: int) -> int:
+    """Combined byte span of two accesses (max end minus min start)."""
+    return max(addr_a + size_a, addr_b + size_b) - min(addr_a, addr_b)
+
+
+def fuseable_span(head: MicroOp, tail: MicroOp, granularity: int = 64) -> bool:
+    """True when the two accesses fit within one access-granularity region."""
+    return span(head.addr, head.size, tail.addr, tail.size) <= granularity
+
+
+def classify_contiguity(head: MicroOp, tail: MicroOp,
+                        granularity: int = 64,
+                        line_bytes: int = 64) -> Contiguity:
+    """Classify a memory pair into Figure 4's categories."""
+    a0, a1 = head.addr, head.end_addr
+    b0, b1 = tail.addr, tail.end_addr
+    if span(a0, head.size, b0, tail.size) > granularity:
+        return Contiguity.TOO_FAR
+    if a0 < b1 and b0 < a1:
+        return Contiguity.OVERLAPPING
+    if a1 == b0 or b1 == a0:
+        return Contiguity.CONTIGUOUS
+    if a0 // line_bytes == b0 // line_bytes and (a1 - 1) // line_bytes == (b1 - 1) // line_bytes:
+        return Contiguity.SAME_LINE
+    return Contiguity.NEXT_LINE
+
+
+def classify_base(head: MicroOp, tail: MicroOp) -> BaseRegKind:
+    """SBR when both µ-ops use the same architectural base register."""
+    if head.base_reg is not None and head.base_reg == tail.base_reg:
+        return BaseRegKind.SBR
+    return BaseRegKind.DBR
+
+
+@dataclass(frozen=True)
+class FusedPair:
+    """A (head nucleus, tail nucleus) pair selected for fusion.
+
+    ``distance`` is the dynamic µ-op distance (1 for consecutive pairs,
+    i.e. an empty catalyst); ``idiom`` names the Table I idiom or the
+    memory pairing kind.
+    """
+
+    head_seq: int
+    tail_seq: int
+    idiom: str
+    is_memory: bool
+    contiguity: Optional[Contiguity] = None
+    base_kind: Optional[BaseRegKind] = None
+    symmetric: bool = True
+
+    @property
+    def distance(self) -> int:
+        return self.tail_seq - self.head_seq
+
+    @property
+    def consecutive(self) -> bool:
+        """CSF: empty catalyst."""
+        return self.distance == 1
+
+    @property
+    def catalyst_size(self) -> int:
+        """Number of µ-ops between the nucleii."""
+        return self.distance - 1
+
+    def __post_init__(self):
+        if self.tail_seq <= self.head_seq:
+            raise ValueError(
+                "tail nucleus (%d) must be younger than head nucleus (%d)"
+                % (self.tail_seq, self.head_seq))
+
+
+def make_memory_pair(head: MicroOp, tail: MicroOp,
+                     granularity: int = 64) -> FusedPair:
+    """Build a fully classified memory :class:`FusedPair`."""
+    kind = "load_pair" if head.is_load else "store_pair"
+    return FusedPair(
+        head_seq=head.seq,
+        tail_seq=tail.seq,
+        idiom=kind,
+        is_memory=True,
+        contiguity=classify_contiguity(head, tail, granularity),
+        base_kind=classify_base(head, tail),
+        symmetric=head.size == tail.size,
+    )

@@ -1,0 +1,83 @@
+"""Consecutive fusion within a decode-group window (Section II-B).
+
+The substitution of µ-ops by their fused equivalent happens before
+Rename, inside a *fusion window* — here a decode group.  Two
+back-to-back µ-ops that land in different windows cannot fuse, unless
+the machine adds a queue between Decode and Rename (Helios's Allocation
+Queue plays that role for its predictive scheme).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import FusionMode
+from repro.fusion.idioms import match_idiom, match_memory_pair
+from repro.fusion.taxonomy import FusedPair, make_memory_pair
+from repro.isa.trace import MicroOp
+
+
+class ConsecutiveFusionWindow:
+    """Greedy adjacent-pair fusion over a window of decoded µ-ops.
+
+    Parameters mirror the paper's configurations:
+
+    * ``fuse_memory`` — enable load pair / store pair idioms.
+    * ``fuse_others`` — enable the non-memory Table I idioms.
+    * ``allow_asymmetric`` — memory pairs may have different access
+      sizes (true for CSF-SBR and everything built on it).
+    """
+
+    def __init__(self, fuse_memory: bool = True, fuse_others: bool = True,
+                 allow_asymmetric: bool = True):
+        self.fuse_memory = fuse_memory
+        self.fuse_others = fuse_others
+        self.allow_asymmetric = allow_asymmetric
+
+    @classmethod
+    def for_mode(cls, mode: FusionMode) -> Optional["ConsecutiveFusionWindow"]:
+        """The consecutive-fusion window used by a paper configuration.
+
+        Helios and OracleFusion build their non-consecutive machinery on
+        top of the full consecutive window.  ``NoFusion`` has none.
+        """
+        if mode is FusionMode.NONE:
+            return None
+        return cls(
+            fuse_memory=mode.fuses_memory_pairs,
+            fuse_others=mode.fuses_other_idioms,
+        )
+
+    def match(self, head: MicroOp, tail: MicroOp) -> Optional[FusedPair]:
+        """Match one adjacent (in-window) pair; None when not fuseable."""
+        if self.fuse_memory and head.is_memory and tail.is_memory:
+            kind = match_memory_pair(head.inst, tail.inst,
+                                     allow_asymmetric=self.allow_asymmetric)
+            if kind is not None:
+                return make_memory_pair(head, tail)
+        if self.fuse_others:
+            idiom = match_idiom(head.inst, tail.inst)
+            if idiom is not None:
+                return FusedPair(head_seq=head.seq, tail_seq=tail.seq,
+                                 idiom=idiom.name, is_memory=False)
+        return None
+
+    def find_pairs(self, window: Sequence[MicroOp]) -> List[FusedPair]:
+        """Greedy left-to-right fusion of adjacent µ-ops in a window.
+
+        Each µ-op participates in at most one pair; a fused tail
+        disappears, so scanning resumes after it.
+        """
+        pairs: List[FusedPair] = []
+        i = 0
+        while i + 1 < len(window):
+            head, tail = window[i], window[i + 1]
+            # Only dynamically adjacent µ-ops form consecutive pairs.
+            if tail.seq == head.seq + 1:
+                pair = self.match(head, tail)
+                if pair is not None:
+                    pairs.append(pair)
+                    i += 2
+                    continue
+            i += 1
+        return pairs

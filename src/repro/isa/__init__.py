@@ -1,0 +1,57 @@
+"""RISC-V (RV64G subset) ISA substrate.
+
+This package provides everything needed to turn small assembly kernels
+into dynamic µ-op traces with real effective addresses:
+
+* :mod:`repro.isa.registers` — architectural register file naming.
+* :mod:`repro.isa.instructions` — static instruction records and opcode
+  classes.
+* :mod:`repro.isa.assembler` — a symbolic assembler (labels, pseudo-ops).
+* :mod:`repro.isa.program` — assembled program container.
+* :mod:`repro.isa.interp` — a functional interpreter that executes a
+  program and emits a :class:`repro.isa.trace.Trace`.
+* :mod:`repro.isa.trace` — the dynamic :class:`MicroOp` record consumed
+  by the fusion analyses and the cycle-level pipeline.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.interp import ExecutionError, Interpreter, run_program
+from repro.isa.program import Program
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    reg_index,
+    reg_name,
+)
+from repro.isa.trace import MicroOp, Trace
+from repro.isa.trace_io import (
+    from_spike_log,
+    load_spike_log,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "AssemblyError",
+    "DecodeError",
+    "decode",
+    "from_spike_log",
+    "load_spike_log",
+    "load_trace",
+    "save_trace",
+    "ExecutionError",
+    "FP_REG_BASE",
+    "Instruction",
+    "Interpreter",
+    "MicroOp",
+    "NUM_ARCH_REGS",
+    "OpClass",
+    "Program",
+    "Trace",
+    "assemble",
+    "reg_index",
+    "reg_name",
+    "run_program",
+]

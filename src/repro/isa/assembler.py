@@ -1,0 +1,348 @@
+"""A symbolic assembler for the RV64G subset.
+
+The assembler understands the usual two-pass label scheme, the common
+pseudo-instructions (``li``, ``mv``, ``j``, ``beqz``, ``ret``, ...) and
+a few data directives::
+
+    .data 0x20000        # switch to a data segment at this address
+    .dword 1, 2, 3       # emit 8-byte little-endian values
+    .word 7              # emit 4-byte values
+    .zero 64             # emit zero bytes
+    .text                # switch back to code
+
+Immediates may be decimal or ``0x`` hexadecimal.  Comments start with
+``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    ALU_RRI,
+    ALU_RRR,
+    BRANCH_OPS,
+    DIV_OPS,
+    FP_CMP,
+    FP_RR,
+    FP_RRR,
+    LOAD_OPS,
+    MEM_SIZE,
+    MUL_OPS,
+    STORE_OPS,
+    Instruction,
+    opclass_for,
+)
+from repro.isa.program import CODE_BASE, INSTRUCTION_BYTES, Program
+from repro.isa.registers import reg_index
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w*)\s*\(\s*([\w.$]+)\s*\)$")
+
+_MASK64 = (1 << 64) - 1
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntactic or semantic assembly problem."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = "line %d: %s" % (line_no, message)
+        super().__init__(message)
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError("bad integer %r" % text, line_no) from None
+
+
+def _reg(text: str, line_no: int) -> int:
+    try:
+        return reg_index(text)
+    except KeyError:
+        raise AssemblyError("unknown register %r" % text, line_no) from None
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on commas not inside parentheses."""
+    operands, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def _sext(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _expand_li(rd: str, value: int) -> List[str]:
+    """Expand ``li`` into lui/addi/slli/addi chains (GNU as style)."""
+    value = _sext(value & _MASK64, 64)
+    if -2048 <= value < 2048:
+        return ["addi %s, x0, %d" % (rd, value)]
+    if -(1 << 31) <= value < (1 << 31):
+        upper = (value + 0x800) >> 12
+        lower = value - (upper << 12)
+        upper = _sext(upper, 20)
+        lines = ["lui %s, %d" % (rd, upper & 0xFFFFF)]
+        if lower:
+            lines.append("addiw %s, %s, %d" % (rd, rd, lower))
+        return lines
+    # 64-bit constant: materialize the upper part, shift, add pieces.
+    lower12 = _sext(value, 12)
+    remainder = (value - lower12) >> 12
+    shift = 12
+    while remainder % 2 == 0 and not -(1 << 31) <= remainder < (1 << 31):
+        remainder >>= 1
+        shift += 1
+    lines = _expand_li(rd, remainder)
+    lines.append("slli %s, %s, %d" % (rd, rd, shift))
+    if lower12:
+        lines.append("addi %s, %s, %d" % (rd, rd, lower12))
+    return lines
+
+
+_BRANCH_ZERO = {
+    "beqz": ("beq", False), "bnez": ("bne", False),
+    "bltz": ("blt", False), "bgez": ("bge", False),
+    "blez": ("bge", True), "bgtz": ("blt", True),
+}
+_BRANCH_SWAP = {"ble": "bge", "bgt": "blt", "bleu": "bgeu", "bgtu": "bltu"}
+
+
+def _expand_pseudo(mnemonic: str, operands: List[str], line_no: int) -> Optional[List[str]]:
+    """Return replacement source lines for a pseudo-instruction."""
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblyError("li needs 2 operands", line_no)
+        return _expand_li(operands[0], _parse_int(operands[1], line_no))
+    if mnemonic == "mv":
+        return ["addi %s, %s, 0" % (operands[0], operands[1])]
+    if mnemonic == "not":
+        return ["xori %s, %s, -1" % (operands[0], operands[1])]
+    if mnemonic == "neg":
+        return ["sub %s, x0, %s" % (operands[0], operands[1])]
+    if mnemonic == "seqz":
+        return ["sltiu %s, %s, 1" % (operands[0], operands[1])]
+    if mnemonic == "snez":
+        return ["sltu %s, x0, %s" % (operands[0], operands[1])]
+    if mnemonic == "sext.w":
+        return ["addiw %s, %s, 0" % (operands[0], operands[1])]
+    if mnemonic == "j":
+        return ["jal x0, %s" % operands[0]]
+    if mnemonic == "jr":
+        return ["jalr x0, %s, 0" % operands[0]]
+    if mnemonic == "ret":
+        return ["jalr x0, ra, 0"]
+    if mnemonic == "fmv.d" and len(operands) == 2:
+        return ["fsgnj.d %s, %s, %s" % (operands[0], operands[1], operands[1])]
+    if mnemonic in _BRANCH_ZERO:
+        real, swap = _BRANCH_ZERO[mnemonic]
+        rs, target = operands[0], operands[1]
+        if swap:
+            return ["%s x0, %s, %s" % (real, rs, target)]
+        return ["%s %s, x0, %s" % (real, rs, target)]
+    if mnemonic in _BRANCH_SWAP:
+        real = _BRANCH_SWAP[mnemonic]
+        return ["%s %s, %s, %s" % (real, operands[1], operands[0], operands[2])]
+    return None
+
+
+class _Assembler:
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: List[Tuple[str, int]] = []   # (source line, original line no)
+        self.labels: Dict[str, int] = {}
+        self.data_segments: Dict[int, bytearray] = {}
+        self._data_cursor: Optional[int] = None
+        self._in_data = False
+
+    # ---- pass 1: strip comments, expand pseudos, collect labels ----
+
+    def feed(self, source: str) -> None:
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    label, line = match.group(1), match.group(2).strip()
+                    if label in self.labels:
+                        raise AssemblyError("duplicate label %r" % label, line_no)
+                    if self._in_data:
+                        raise AssemblyError(
+                            "labels inside .data are not supported", line_no)
+                    self.labels[label] = len(self.lines)
+                    continue
+                break
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, line_no)
+                continue
+            if self._in_data:
+                raise AssemblyError("instruction inside .data segment", line_no)
+            mnemonic, operand_text = (line.split(None, 1) + [""])[:2]
+            mnemonic = mnemonic.lower()
+            operands = _split_operands(operand_text)
+            expansion = _expand_pseudo(mnemonic, operands, line_no)
+            if expansion is not None:
+                for expanded in expansion:
+                    self.lines.append((expanded, line_no))
+            else:
+                self.lines.append((line, line_no))
+
+    def _directive(self, line: str, line_no: int) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        arg = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self._in_data = False
+        elif name == ".data":
+            self._in_data = True
+            self._data_cursor = _parse_int(arg.strip(), line_no)
+            self.data_segments.setdefault(self._data_cursor, bytearray())
+        elif name in (".dword", ".word", ".half", ".byte"):
+            if self._data_cursor is None:
+                raise AssemblyError("%s outside .data" % name, line_no)
+            width = {".dword": 8, ".word": 4, ".half": 2, ".byte": 1}[name]
+            segment = self._current_segment()
+            for value_text in _split_operands(arg):
+                value = _parse_int(value_text, line_no) & ((1 << (8 * width)) - 1)
+                segment.extend(value.to_bytes(width, "little"))
+        elif name == ".zero":
+            if self._data_cursor is None:
+                raise AssemblyError(".zero outside .data", line_no)
+            self._current_segment().extend(bytes(_parse_int(arg.strip(), line_no)))
+        else:
+            raise AssemblyError("unknown directive %r" % name, line_no)
+
+    def _current_segment(self) -> bytearray:
+        # Segments are keyed by their base; the cursor tracks the base of
+        # the most recent .data directive.
+        assert self._data_cursor is not None
+        return self.data_segments[self._data_cursor]
+
+    # ---- pass 2: encode ----
+
+    def finish(self) -> Program:
+        if not self.lines:
+            raise AssemblyError("empty program")
+        instructions = []
+        for index, (line, line_no) in enumerate(self.lines):
+            instructions.append(self._encode(line, line_no, index))
+        for label, index in self.labels.items():
+            if index > len(instructions):
+                raise AssemblyError("label %r past end of program" % label)
+        return Program(
+            instructions=instructions,
+            labels=dict(self.labels),
+            data_segments={base: bytes(seg) for base, seg in self.data_segments.items()},
+            name=self.name,
+        )
+
+    def _resolve_target(self, text: str, line_no: int) -> int:
+        if text in self.labels:
+            return self.labels[text]
+        try:
+            value = int(text, 0)
+        except ValueError:
+            raise AssemblyError("unknown label %r" % text, line_no) from None
+        index, rem = divmod(value - CODE_BASE, INSTRUCTION_BYTES)
+        if rem:
+            raise AssemblyError("misaligned branch target %r" % text, line_no)
+        return index
+
+    def _encode(self, line: str, line_no: int, index: int) -> Instruction:
+        mnemonic, operand_text = (line.split(None, 1) + [""])[:2]
+        mnemonic = mnemonic.lower()
+        ops = _split_operands(operand_text)
+        pc = CODE_BASE + INSTRUCTION_BYTES * index
+        make = lambda **kw: Instruction(  # noqa: E731 - local shorthand
+            mnemonic=mnemonic, opclass=opclass_for(mnemonic), pc=pc, **kw)
+
+        if mnemonic in ALU_RRR or mnemonic in MUL_OPS or mnemonic in DIV_OPS:
+            self._arity(ops, 3, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no), rs1=_reg(ops[1], line_no),
+                        rs2=_reg(ops[2], line_no))
+        if mnemonic in ALU_RRI:
+            self._arity(ops, 3, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no), rs1=_reg(ops[1], line_no),
+                        imm=_parse_int(ops[2], line_no))
+        if mnemonic in ("lui", "auipc"):
+            self._arity(ops, 2, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no), imm=_parse_int(ops[1], line_no))
+        if mnemonic in LOAD_OPS:
+            self._arity(ops, 2, mnemonic, line_no)
+            imm, base = self._mem_operand(ops[1], line_no)
+            return make(rd=_reg(ops[0], line_no), rs1=base, imm=imm,
+                        mem_size=MEM_SIZE[mnemonic])
+        if mnemonic in STORE_OPS:
+            self._arity(ops, 2, mnemonic, line_no)
+            imm, base = self._mem_operand(ops[1], line_no)
+            return make(rs2=_reg(ops[0], line_no), rs1=base, imm=imm,
+                        mem_size=MEM_SIZE[mnemonic])
+        if mnemonic in BRANCH_OPS:
+            self._arity(ops, 3, mnemonic, line_no)
+            return make(rs1=_reg(ops[0], line_no), rs2=_reg(ops[1], line_no),
+                        target=self._resolve_target(ops[2], line_no))
+        if mnemonic == "jal":
+            if len(ops) == 1:
+                ops = ["ra"] + ops
+            self._arity(ops, 2, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no),
+                        target=self._resolve_target(ops[1], line_no))
+        if mnemonic == "jalr":
+            if len(ops) == 1:
+                ops = ["x0", ops[0], "0"]
+            self._arity(ops, 3, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no), rs1=_reg(ops[1], line_no),
+                        imm=_parse_int(ops[2], line_no))
+        if mnemonic in FP_RRR or mnemonic in FP_CMP:
+            self._arity(ops, 3, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no), rs1=_reg(ops[1], line_no),
+                        rs2=_reg(ops[2], line_no))
+        if mnemonic in FP_RR:
+            self._arity(ops, 2, mnemonic, line_no)
+            return make(rd=_reg(ops[0], line_no), rs1=_reg(ops[1], line_no))
+        if mnemonic in ("fence", "ecall", "nop"):
+            return make()
+        raise AssemblyError("unknown mnemonic %r" % mnemonic, line_no)
+
+    @staticmethod
+    def _arity(ops: List[str], expected: int, mnemonic: str, line_no: int) -> None:
+        if len(ops) != expected:
+            raise AssemblyError(
+                "%s expects %d operands, got %d" % (mnemonic, expected, len(ops)),
+                line_no)
+
+    def _mem_operand(self, text: str, line_no: int) -> Tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(text.strip())
+        if not match:
+            raise AssemblyError("bad memory operand %r" % text, line_no)
+        imm_text = match.group(1)
+        imm = _parse_int(imm_text, line_no) if imm_text else 0
+        return imm, _reg(match.group(2), line_no)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`~repro.isa.program.Program`."""
+    assembler = _Assembler(name)
+    assembler.feed(source)
+    return assembler.finish()

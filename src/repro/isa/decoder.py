@@ -1,0 +1,182 @@
+"""RV64 binary instruction decoder.
+
+Decodes raw 32-bit RISC-V encodings into the same
+:class:`~repro.isa.instructions.Instruction` records the assembler
+produces, so externally captured traces — e.g. Spike commit logs, the
+paper's own methodology — can be injected into the timing model (see
+:mod:`repro.isa.trace_io`).
+
+Covers RV64IM plus the F/D loads and stores (the subset the fusion
+analyses care about: every load/store/branch/ALU shape).  Compressed
+(RVC) encodings are rejected with a clear error; FP arithmetic decodes
+to a generic FP µ-op class.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, MEM_SIZE, opclass_for
+
+
+class DecodeError(ValueError):
+    """Raised for encodings outside the supported subset."""
+
+
+def _bits(word: int, high: int, low: int) -> int:
+    return (word >> low) & ((1 << (high - low + 1)) - 1)
+
+
+def _sext(value: int, bits: int) -> int:
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _imm_i(word: int) -> int:
+    return _sext(_bits(word, 31, 20), 12)
+
+
+def _imm_s(word: int) -> int:
+    return _sext((_bits(word, 31, 25) << 5) | _bits(word, 11, 7), 12)
+
+
+def _imm_b(word: int) -> int:
+    imm = (_bits(word, 31, 31) << 12) | (_bits(word, 7, 7) << 11) \
+        | (_bits(word, 30, 25) << 5) | (_bits(word, 11, 8) << 1)
+    return _sext(imm, 13)
+
+
+def _imm_u(word: int) -> int:
+    return _bits(word, 31, 12)
+
+
+def _imm_j(word: int) -> int:
+    imm = (_bits(word, 31, 31) << 20) | (_bits(word, 19, 12) << 12) \
+        | (_bits(word, 20, 20) << 11) | (_bits(word, 30, 21) << 1)
+    return _sext(imm, 21)
+
+
+_LOADS = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b011: "ld",
+          0b100: "lbu", 0b101: "lhu", 0b110: "lwu"}
+_FP_LOADS = {0b010: "flw", 0b011: "fld"}
+_STORES = {0b000: "sb", 0b001: "sh", 0b010: "sw", 0b011: "sd"}
+_FP_STORES = {0b010: "fsw", 0b011: "fsd"}
+_BRANCHES = {0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge",
+             0b110: "bltu", 0b111: "bgeu"}
+_OP_IMM = {0b000: "addi", 0b010: "slti", 0b011: "sltiu", 0b100: "xori",
+           0b110: "ori", 0b111: "andi"}
+_OP = {  # funct3 -> (funct7==0 mnemonic, funct7==0x20 mnemonic)
+    0b000: ("add", "sub"), 0b001: ("sll", None), 0b010: ("slt", None),
+    0b011: ("sltu", None), 0b100: ("xor", None), 0b101: ("srl", "sra"),
+    0b110: ("or", None), 0b111: ("and", None),
+}
+_MULDIV = {0b000: "mul", 0b001: "mulh", 0b010: "mulhsu", 0b011: "mulhu",
+           0b100: "div", 0b101: "divu", 0b110: "rem", 0b111: "remu"}
+_OP_32 = {0b000: ("addw", "subw"), 0b001: ("sllw", None),
+          0b101: ("srlw", "sraw")}
+_MULDIV_32 = {0b000: "mulw", 0b100: "divw", 0b101: "divuw",
+              0b110: "remw", 0b111: "remuw"}
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode one 32-bit instruction word at ``pc``.
+
+    Branch/jump ``target`` fields hold *PC-relative byte offsets*
+    resolved by the caller (a standalone decoder cannot know the
+    program's instruction indexing); see trace_io for how Spike logs
+    resolve direction from the committed PC stream instead.
+    """
+    word &= 0xFFFFFFFF
+    if word & 0b11 != 0b11:
+        raise DecodeError(
+            "compressed (RVC) encoding 0x%04x at 0x%x is not supported; "
+            "build traces with rv64g (no 'c') binaries" % (word & 0xFFFF, pc))
+    opcode = _bits(word, 6, 0)
+    rd = _bits(word, 11, 7)
+    funct3 = _bits(word, 14, 12)
+    rs1 = _bits(word, 19, 15)
+    rs2 = _bits(word, 24, 20)
+    funct7 = _bits(word, 31, 25)
+
+    def make(mnemonic, **kwargs):
+        return Instruction(mnemonic=mnemonic, opclass=opclass_for(mnemonic),
+                           pc=pc, mem_size=MEM_SIZE.get(mnemonic, 0),
+                           **kwargs)
+
+    if opcode == 0x03:                                   # LOAD
+        mnemonic = _LOADS.get(funct3)
+        if mnemonic is None:
+            raise DecodeError("bad load funct3 %d" % funct3)
+        return make(mnemonic, rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == 0x07:                                   # LOAD-FP
+        mnemonic = _FP_LOADS.get(funct3)
+        if mnemonic is None:
+            raise DecodeError("bad fp load funct3 %d" % funct3)
+        return make(mnemonic, rd=32 + rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == 0x23:                                   # STORE
+        mnemonic = _STORES.get(funct3)
+        if mnemonic is None:
+            raise DecodeError("bad store funct3 %d" % funct3)
+        return make(mnemonic, rs1=rs1, rs2=rs2, imm=_imm_s(word))
+    if opcode == 0x27:                                   # STORE-FP
+        mnemonic = _FP_STORES.get(funct3)
+        if mnemonic is None:
+            raise DecodeError("bad fp store funct3 %d" % funct3)
+        return make(mnemonic, rs1=rs1, rs2=32 + rs2, imm=_imm_s(word))
+    if opcode == 0x63:                                   # BRANCH
+        mnemonic = _BRANCHES.get(funct3)
+        if mnemonic is None:
+            raise DecodeError("bad branch funct3 %d" % funct3)
+        return make(mnemonic, rs1=rs1, rs2=rs2, imm=_imm_b(word))
+    if opcode == 0x6F:                                   # JAL
+        return make("jal", rd=rd, imm=_imm_j(word))
+    if opcode == 0x67:                                   # JALR
+        return make("jalr", rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == 0x37:                                   # LUI
+        return make("lui", rd=rd, imm=_imm_u(word))
+    if opcode == 0x17:                                   # AUIPC
+        return make("auipc", rd=rd, imm=_imm_u(word))
+    if opcode == 0x13:                                   # OP-IMM
+        if funct3 == 0b001:
+            return make("slli", rd=rd, rs1=rs1, imm=_bits(word, 25, 20))
+        if funct3 == 0b101:
+            mnemonic = "srai" if funct7 & 0x20 else "srli"
+            return make(mnemonic, rd=rd, rs1=rs1, imm=_bits(word, 25, 20))
+        return make(_OP_IMM[funct3], rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == 0x1B:                                   # OP-IMM-32
+        if funct3 == 0b000:
+            return make("addiw", rd=rd, rs1=rs1, imm=_imm_i(word))
+        if funct3 == 0b001:
+            return make("slliw", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            mnemonic = "sraiw" if funct7 & 0x20 else "srliw"
+            return make(mnemonic, rd=rd, rs1=rs1, imm=rs2)
+        raise DecodeError("bad OP-IMM-32 funct3 %d" % funct3)
+    if opcode == 0x33:                                   # OP
+        if funct7 == 0x01:
+            return make(_MULDIV[funct3], rd=rd, rs1=rs1, rs2=rs2)
+        base, alt = _OP[funct3]
+        mnemonic = alt if funct7 == 0x20 else base
+        if mnemonic is None:
+            raise DecodeError("bad OP funct7 0x%x" % funct7)
+        return make(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0x3B:                                   # OP-32
+        if funct7 == 0x01:
+            mnemonic = _MULDIV_32.get(funct3)
+            if mnemonic is None:
+                raise DecodeError("bad MULDIV-32 funct3 %d" % funct3)
+            return make(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        pair = _OP_32.get(funct3)
+        if pair is None:
+            raise DecodeError("bad OP-32 funct3 %d" % funct3)
+        base, alt = pair
+        mnemonic = alt if funct7 == 0x20 else base
+        if mnemonic is None:
+            raise DecodeError("bad OP-32 funct7 0x%x" % funct7)
+        return make(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0x0F:                                   # MISC-MEM
+        return make("fence")
+    if opcode == 0x73:                                   # SYSTEM
+        return make("ecall")
+    if opcode == 0x53:                                   # OP-FP (generic)
+        return make("fadd.d", rd=32 + rd, rs1=32 + rs1, rs2=32 + rs2)
+    raise DecodeError("unsupported opcode 0x%02x at pc 0x%x" % (opcode, pc))

@@ -1,0 +1,358 @@
+"""Functional interpreter for the RV64G subset.
+
+The interpreter plays the role of the paper's modified Spike simulator:
+it executes a program functionally and emits the dynamic µ-op stream —
+with resolved effective addresses and branch outcomes — that is
+injected into the cycle-level timing model.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import SIGNED_LOADS, Instruction, OpClass
+from repro.isa.program import INSTRUCTION_BYTES, Program
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.isa.trace import MicroOp, Trace
+
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+_PAGE_MASK = _PAGE_SIZE - 1
+
+#: Initial stack pointer for interpreted kernels.
+STACK_TOP = 0x8000_0000
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program performs an unsupported or invalid action."""
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _signed32(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _sext32(value: int) -> int:
+    return _signed32(value) & _MASK64
+
+
+def _bits_to_double(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & _MASK64))[0]
+
+
+def _double_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+class Memory:
+    """Sparse byte-addressable memory backed by 4 KiB pages."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, number: int) -> bytearray:
+        page = self._pages.get(number)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[number] = page
+        return page
+
+    def read(self, addr: int, size: int) -> int:
+        """Little-endian unsigned read of ``size`` bytes."""
+        page_no, off = addr >> _PAGE_SHIFT, addr & _PAGE_MASK
+        if off + size <= _PAGE_SIZE:
+            page = self._pages.get(page_no)
+            if page is None:
+                return 0
+            return int.from_bytes(page[off:off + size], "little")
+        value = 0
+        for i in range(size):
+            byte_addr = addr + i
+            page = self._pages.get(byte_addr >> _PAGE_SHIFT)
+            byte = page[byte_addr & _PAGE_MASK] if page is not None else 0
+            value |= byte << (8 * i)
+        return value
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        """Little-endian write of the low ``size`` bytes of ``value``."""
+        value &= (1 << (8 * size)) - 1
+        page_no, off = addr >> _PAGE_SHIFT, addr & _PAGE_MASK
+        if off + size <= _PAGE_SIZE:
+            self._page(page_no)[off:off + size] = value.to_bytes(size, "little")
+            return
+        for i in range(size):
+            byte_addr = addr + i
+            self._page(byte_addr >> _PAGE_SHIFT)[byte_addr & _PAGE_MASK] = (
+                value >> (8 * i)) & 0xFF
+
+    def load_segment(self, base: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            addr = base + i
+            self._page(addr >> _PAGE_SHIFT)[addr & _PAGE_MASK] = byte
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * _PAGE_SIZE
+
+
+class Interpreter:
+    """Executes a :class:`~repro.isa.program.Program` and records a trace."""
+
+    def __init__(self, program: Program, max_uops: int = 2_000_000):
+        self.program = program
+        self.max_uops = max_uops
+        self.regs: List[int] = [0] * NUM_ARCH_REGS
+        self.regs[2] = STACK_TOP  # sp
+        self.memory = Memory()
+        for base, data in program.data_segments.items():
+            self.memory.load_segment(base, data)
+        self.halted = False
+        self.uops: List[MicroOp] = []
+
+    # -- register helpers -------------------------------------------------
+
+    def _write_reg(self, index: Optional[int], value: int) -> None:
+        if index is not None and index != 0:
+            self.regs[index] = value & _MASK64
+
+    def _read(self, index: Optional[int]) -> int:
+        return self.regs[index] if index is not None else 0
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Execute until halt (``ecall``/fall-off-end) or the µ-op cap."""
+        index = 0
+        program = self.program
+        n = len(program)
+        while not self.halted and len(self.uops) < self.max_uops:
+            if not 0 <= index < n:
+                break  # fell off the end: implicit halt
+            index = self._step(program.instructions[index], index)
+        return Trace(self.uops, name=program.name)
+
+    def _step(self, inst: Instruction, index: int) -> int:
+        """Execute one instruction; return the next instruction index."""
+        mnem = inst.mnemonic
+        opclass = inst.opclass
+        regs = self.regs
+        next_index = index + 1
+
+        if opclass is OpClass.LOAD or opclass is OpClass.STORE:
+            addr = (regs[inst.rs1] + inst.imm) & _MASK64
+            if opclass is OpClass.LOAD:
+                value = self.memory.read(addr, inst.mem_size)
+                if mnem in SIGNED_LOADS and inst.mem_size < 8:
+                    sign_bit = 1 << (8 * inst.mem_size - 1)
+                    if value & sign_bit:
+                        value |= _MASK64 ^ ((1 << (8 * inst.mem_size)) - 1)
+                self._write_reg(inst.rd, value)
+            else:
+                self.memory.write(addr, regs[inst.rs2], inst.mem_size)
+            self.uops.append(MicroOp(len(self.uops), inst, addr=addr))
+            return next_index
+
+        if opclass is OpClass.BRANCH:
+            a, b = regs[inst.rs1], regs[inst.rs2]
+            if mnem == "beq":
+                taken = a == b
+            elif mnem == "bne":
+                taken = a != b
+            elif mnem == "blt":
+                taken = _signed(a) < _signed(b)
+            elif mnem == "bge":
+                taken = _signed(a) >= _signed(b)
+            elif mnem == "bltu":
+                taken = a < b
+            else:  # bgeu
+                taken = a >= b
+            target = inst.target if taken else next_index
+            self.uops.append(MicroOp(
+                len(self.uops), inst, taken=taken,
+                target_pc=self.program.pc_of(target) if 0 <= target <= len(self.program) else 0))
+            return target
+
+        if opclass is OpClass.JUMP:
+            self._write_reg(inst.rd, inst.pc + INSTRUCTION_BYTES)
+            if mnem == "jal":
+                target = inst.target
+            else:  # jalr
+                target_pc = (regs[inst.rs1] + inst.imm) & _MASK64 & ~1
+                if target_pc == 0:
+                    self.halted = True  # convention: return to 0 halts
+                    self.uops.append(MicroOp(len(self.uops), inst, taken=True))
+                    return next_index
+                target = self.program.index_of_pc(target_pc)
+            self.uops.append(MicroOp(
+                len(self.uops), inst, taken=True,
+                target_pc=self.program.pc_of(target)))
+            return target
+
+        if opclass is OpClass.SYSTEM:  # ecall: halt
+            self.halted = True
+            self.uops.append(MicroOp(len(self.uops), inst))
+            return next_index
+        if opclass is OpClass.FENCE or opclass is OpClass.NOP:
+            self.uops.append(MicroOp(len(self.uops), inst))
+            return next_index
+
+        self._execute_compute(inst, mnem)
+        self.uops.append(MicroOp(len(self.uops), inst))
+        return next_index
+
+    # -- compute semantics ---------------------------------------------------
+
+    def _execute_compute(self, inst: Instruction, mnem: str) -> None:
+        regs = self.regs
+        a = regs[inst.rs1] if inst.rs1 is not None else 0
+        b = regs[inst.rs2] if inst.rs2 is not None else inst.imm & _MASK64
+        imm = inst.imm
+
+        if mnem == "add":
+            result = a + b
+        elif mnem == "addi":
+            result = a + imm
+        elif mnem == "sub":
+            result = a - b
+        elif mnem == "and" or mnem == "andi":
+            result = a & (b if mnem == "and" else imm & _MASK64)
+        elif mnem == "or" or mnem == "ori":
+            result = a | (b if mnem == "or" else imm & _MASK64)
+        elif mnem == "xor" or mnem == "xori":
+            result = a ^ (b if mnem == "xor" else imm & _MASK64)
+        elif mnem == "sll":
+            result = a << (b & 63)
+        elif mnem == "slli":
+            result = a << (imm & 63)
+        elif mnem == "srl":
+            result = a >> (b & 63)
+        elif mnem == "srli":
+            result = a >> (imm & 63)
+        elif mnem == "sra":
+            result = _signed(a) >> (b & 63)
+        elif mnem == "srai":
+            result = _signed(a) >> (imm & 63)
+        elif mnem == "slt" or mnem == "slti":
+            rhs = _signed(b) if mnem == "slt" else imm
+            result = 1 if _signed(a) < rhs else 0
+        elif mnem == "sltu" or mnem == "sltiu":
+            rhs = b if mnem == "sltu" else imm & _MASK64
+            result = 1 if a < rhs else 0
+        elif mnem == "addw" or mnem == "addiw":
+            rhs = b if mnem == "addw" else imm
+            result = _sext32(a + rhs)
+        elif mnem == "subw":
+            result = _sext32(a - b)
+        elif mnem == "sllw" or mnem == "slliw":
+            sh = (b if mnem == "sllw" else imm) & 31
+            result = _sext32(a << sh)
+        elif mnem == "srlw" or mnem == "srliw":
+            sh = (b if mnem == "srlw" else imm) & 31
+            result = _sext32((a & _MASK32) >> sh)
+        elif mnem == "sraw" or mnem == "sraiw":
+            sh = (b if mnem == "sraw" else imm) & 31
+            result = _sext32(_signed32(a) >> sh)
+        elif mnem == "lui":
+            result = _sext32(imm << 12)
+        elif mnem == "auipc":
+            result = inst.pc + (imm << 12)
+        elif mnem in ("mul", "mulw"):
+            product = _signed(a) * _signed(b)
+            result = _sext32(product) if mnem == "mulw" else product
+        elif mnem == "mulh":
+            result = (_signed(a) * _signed(b)) >> 64
+        elif mnem == "mulhu":
+            result = (a * b) >> 64
+        elif mnem == "mulhsu":
+            result = (_signed(a) * b) >> 64
+        elif mnem in ("div", "divw", "divu", "divuw", "rem", "remw", "remu", "remuw"):
+            result = self._divide(mnem, a, b)
+        elif mnem.startswith("f"):
+            self._execute_fp(inst, mnem)
+            return
+        else:
+            raise ExecutionError("unimplemented mnemonic %r" % mnem)
+        self._write_reg(inst.rd, result & _MASK64)
+
+    @staticmethod
+    def _divide(mnem: str, a: int, b: int) -> int:
+        wordy = mnem.endswith("w")
+        unsigned = "u" in mnem[3:] or mnem in ("divu", "remu", "divuw", "remuw")
+        if wordy:
+            a = (a & _MASK32) if unsigned else _signed32(a) & _MASK64
+            b = (b & _MASK32) if unsigned else _signed32(b) & _MASK64
+        lhs = a if unsigned else _signed(a & _MASK64)
+        rhs = b if unsigned else _signed(b & _MASK64)
+        is_rem = mnem.startswith("rem")
+        if rhs == 0:
+            result = lhs if is_rem else -1  # RISC-V divide-by-zero semantics
+        else:
+            quotient = abs(lhs) // abs(rhs)
+            if (lhs < 0) != (rhs < 0):
+                quotient = -quotient
+            result = lhs - quotient * rhs if is_rem else quotient
+        return _sext32(result) if wordy else result & _MASK64
+
+    def _execute_fp(self, inst: Instruction, mnem: str) -> None:
+        regs = self.regs
+        if mnem == "fcvt.d.l":
+            self._write_reg(inst.rd, _double_to_bits(float(_signed(regs[inst.rs1]))))
+            return
+        if mnem == "fcvt.d.w":
+            self._write_reg(inst.rd, _double_to_bits(float(_signed32(regs[inst.rs1]))))
+            return
+        if mnem in ("fcvt.l.d", "fcvt.w.d"):
+            value = int(_bits_to_double(regs[inst.rs1]))
+            self._write_reg(inst.rd, value & _MASK64)
+            return
+        a = _bits_to_double(regs[inst.rs1]) if inst.rs1 is not None else 0.0
+        b = _bits_to_double(regs[inst.rs2]) if inst.rs2 is not None else 0.0
+        if mnem in ("feq.d", "flt.d", "fle.d"):
+            if mnem == "feq.d":
+                flag = a == b
+            elif mnem == "flt.d":
+                flag = a < b
+            else:
+                flag = a <= b
+            self._write_reg(inst.rd, 1 if flag else 0)
+            return
+        base = mnem.split(".")[0]
+        if base in ("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"):
+            if base == "fadd":
+                result = a + b
+            elif base == "fsub":
+                result = a - b
+            elif base == "fmul":
+                result = a * b
+            elif base == "fdiv":
+                result = a / b if b != 0.0 else float("inf")
+            elif base == "fmin":
+                result = min(a, b)
+            else:
+                result = max(a, b)
+            self._write_reg(inst.rd, _double_to_bits(result))
+            return
+        if mnem == "fsgnj.d":
+            bits_a = regs[inst.rs1]
+            bits_b = regs[inst.rs2]
+            self._write_reg(inst.rd, (bits_a & ((1 << 63) - 1)) | (bits_b & (1 << 63)))
+            return
+        if mnem == "fabs.d":
+            self._write_reg(inst.rd, regs[inst.rs1] & ((1 << 63) - 1))
+            return
+        if mnem == "fneg.d":
+            self._write_reg(inst.rd, regs[inst.rs1] ^ (1 << 63))
+            return
+        raise ExecutionError("unimplemented FP mnemonic %r" % mnem)
+
+
+def run_program(program: Program, max_uops: int = 2_000_000) -> Trace:
+    """Convenience wrapper: interpret ``program`` and return its trace."""
+    return Interpreter(program, max_uops=max_uops).run()

@@ -1,0 +1,164 @@
+"""Dynamic µ-op traces.
+
+A :class:`MicroOp` is one dynamically executed instruction with its
+resolved effective address and branch outcome.  Traces are what the
+fusion analyses (:mod:`repro.fusion`) and the cycle-level pipeline
+(:mod:`repro.pipeline`) consume — mirroring the paper's methodology of
+a functional simulator (Spike) injecting instructions into a timing
+model.
+
+In this reproduction, as in the paper (footnote 2), every RISC-V
+instruction translates to exactly one µ-op, so "instruction" and
+"µ-op" are interchangeable at trace level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+class MicroOp:
+    """One dynamic µ-op.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (0-based).
+    inst:
+        The static :class:`~repro.isa.instructions.Instruction`.
+    pc:
+        Program counter of the instruction.
+    dest / srcs:
+        Architectural destination (or ``None``) and source register
+        indices, with ``x0`` filtered out.
+    addr / size:
+        Effective byte address and access size for memory µ-ops
+        (0 otherwise).
+    taken / target_seq:
+        For control µ-ops, the resolved direction and the *dynamic*
+        sequence number that follows (always ``seq + 1`` on the correct
+        path, kept for clarity in tests).
+    """
+
+    __slots__ = (
+        "seq", "inst", "pc", "opclass", "dest", "srcs",
+        "addr", "size", "taken", "target_pc",
+    )
+
+    def __init__(self, seq: int, inst: Instruction, addr: int = 0,
+                 taken: bool = False, target_pc: int = 0):
+        self.seq = seq
+        self.inst = inst
+        self.pc = inst.pc
+        self.opclass = inst.opclass
+        self.dest = inst.destination
+        self.srcs = inst.sources
+        self.addr = addr
+        self.size = inst.mem_size
+        self.taken = taken
+        self.target_pc = target_pc
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass is OpClass.LOAD or self.opclass is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass is OpClass.BRANCH or self.opclass is OpClass.JUMP
+
+    @property
+    def is_serializing(self) -> bool:
+        return self.opclass is OpClass.FENCE or self.opclass is OpClass.SYSTEM
+
+    @property
+    def base_reg(self) -> Optional[int]:
+        """Architectural base register of a memory µ-op."""
+        return self.inst.rs1 if self.is_memory else None
+
+    @property
+    def offset(self) -> int:
+        """Displacement of a memory µ-op."""
+        return self.inst.imm
+
+    @property
+    def end_addr(self) -> int:
+        """One past the last byte accessed."""
+        return self.addr + self.size
+
+    def line(self, line_bytes: int = 64) -> int:
+        """Cache line frame of the first accessed byte."""
+        return self.addr // line_bytes
+
+    def __repr__(self) -> str:
+        if self.is_memory:
+            return "<uop %d %s addr=0x%x size=%d>" % (
+                self.seq, self.inst.mnemonic, self.addr, self.size)
+        return "<uop %d %s>" % (self.seq, self.inst.mnemonic)
+
+
+class Trace:
+    """An ordered dynamic µ-op stream plus summary statistics."""
+
+    def __init__(self, uops: List[MicroOp], name: str = "trace"):
+        self.uops = uops
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __getitem__(self, index):
+        return self.uops[index]
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self.uops)
+
+    def opclass_counts(self) -> Dict[OpClass, int]:
+        counts: Dict[OpClass, int] = {}
+        for uop in self.uops:
+            counts[uop.opclass] = counts.get(uop.opclass, 0) + 1
+        return counts
+
+    @property
+    def num_loads(self) -> int:
+        return sum(1 for u in self.uops if u.is_load)
+
+    @property
+    def num_stores(self) -> int:
+        return sum(1 for u in self.uops if u.is_store)
+
+    @property
+    def num_memory(self) -> int:
+        return sum(1 for u in self.uops if u.is_memory)
+
+    @property
+    def num_branches(self) -> int:
+        return sum(1 for u in self.uops if u.is_branch)
+
+    def memory_fraction(self) -> float:
+        """Fraction of dynamic µ-ops that are loads or stores."""
+        if not self.uops:
+            return 0.0
+        return self.num_memory / len(self.uops)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace (µ-ops keep their original sequence numbers)."""
+        return Trace(self.uops[start:stop], name="%s[%d:%d]" % (self.name, start, stop))
+
+
+def footprint(uops: Sequence[MicroOp], line_bytes: int = 64) -> int:
+    """Number of distinct cache lines touched by the memory µ-ops."""
+    return len({u.line(line_bytes) for u in uops if u.is_memory})

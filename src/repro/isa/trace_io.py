@@ -1,0 +1,149 @@
+"""Trace import/export.
+
+Two capabilities downstream users need to run the model on *their*
+programs:
+
+* **Spike commit logs** — :func:`from_spike_log` ingests the output of
+  ``spike -l --log-commits`` (the paper's own functional front end),
+  decoding each committed instruction word with
+  :mod:`repro.isa.decoder`, attaching the logged memory addresses, and
+  resolving branch directions from the committed PC stream.
+* **Portable JSON-lines traces** — :func:`save_trace` /
+  :func:`load_trace` round-trip a :class:`~repro.isa.trace.Trace`
+  through a simple line-per-µ-op format so traces can be captured once
+  and replayed across configurations.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.isa.decoder import decode
+from repro.isa.instructions import Instruction, opclass_for
+from repro.isa.program import INSTRUCTION_BYTES
+from repro.isa.trace import MicroOp, Trace
+
+#: One committed instruction in a `spike -l --log-commits` log, e.g.::
+#:
+#:     core   0: 3 0x0000000080001a4a (0x00b2b023) mem 0x80001110 0x0b
+#:     core   0: 3 0x000000008000010c (0x0000b303) x6  0x0b mem 0x80001110
+_SPIKE_LINE = re.compile(
+    r"core\s+\d+:\s+(?:\d+\s+)?0x(?P<pc>[0-9a-fA-F]+)\s+"
+    r"\(0x(?P<word>[0-9a-fA-F]+)\)"
+    r"(?P<rest>.*)$")
+_SPIKE_MEM = re.compile(r"\bmem\s+0x(?P<addr>[0-9a-fA-F]+)")
+
+
+class TraceFormatError(ValueError):
+    """Raised for unparseable trace inputs."""
+
+
+def from_spike_log(lines: Iterable[str], name: str = "spike",
+                   max_uops: Optional[int] = None) -> Trace:
+    """Build a :class:`Trace` from a Spike commit log.
+
+    Branch/jump direction and targets come from the *next* committed
+    PC, exactly like the paper's Spike-injection methodology.  Lines
+    that do not look like commit records (boot noise, interrupts) are
+    skipped.
+    """
+    records = []
+    for line in lines:
+        match = _SPIKE_LINE.search(line)
+        if match is None:
+            continue
+        pc = int(match.group("pc"), 16)
+        word = int(match.group("word"), 16)
+        mem = _SPIKE_MEM.search(match.group("rest"))
+        addr = int(mem.group("addr"), 16) if mem else 0
+        records.append((pc, word, addr))
+        if max_uops is not None and len(records) > max_uops:
+            break
+
+    uops: List[MicroOp] = []
+    for index, (pc, word, addr) in enumerate(records):
+        if max_uops is not None and len(uops) >= max_uops:
+            break
+        inst = decode(word, pc=pc)
+        if inst.is_memory:
+            uops.append(MicroOp(len(uops), inst, addr=addr))
+        elif inst.opclass.is_control:
+            next_pc = records[index + 1][0] if index + 1 < len(records) \
+                else pc + INSTRUCTION_BYTES
+            taken = next_pc != pc + INSTRUCTION_BYTES
+            uops.append(MicroOp(len(uops), inst, taken=taken,
+                                target_pc=next_pc))
+        else:
+            uops.append(MicroOp(len(uops), inst))
+    return Trace(uops, name=name)
+
+
+def load_spike_log(path: str, name: Optional[str] = None,
+                   max_uops: Optional[int] = None) -> Trace:
+    """Read a Spike commit-log file into a trace."""
+    with open(path) as handle:
+        return from_spike_log(handle, name=name or path, max_uops=max_uops)
+
+
+# --------------------------------------------------------------- JSON lines --
+
+def save_trace(trace: Trace, target: Union[str, TextIO]) -> None:
+    """Write a trace as JSON-lines (one µ-op per line)."""
+    own = isinstance(target, str)
+    handle = open(target, "w") if own else target
+    try:
+        handle.write(json.dumps({"format": "repro-trace", "version": 1,
+                                 "name": trace.name}) + "\n")
+        for uop in trace:
+            inst = uop.inst
+            record = {
+                "pc": uop.pc, "mnemonic": inst.mnemonic,
+                "rd": inst.rd, "rs1": inst.rs1, "rs2": inst.rs2,
+                "imm": inst.imm,
+            }
+            if uop.is_memory:
+                record["addr"] = uop.addr
+            if uop.is_control:
+                record["taken"] = uop.taken
+                record["target_pc"] = uop.target_pc
+            handle.write(json.dumps(record) + "\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def load_trace(source: Union[str, TextIO]) -> Trace:
+    """Read a JSON-lines trace written by :func:`save_trace`."""
+    own = isinstance(source, str)
+    handle = open(source) if own else source
+    try:
+        header = json.loads(handle.readline())
+        if header.get("format") != "repro-trace":
+            raise TraceFormatError("not a repro trace file")
+        static_cache = {}
+        uops: List[MicroOp] = []
+        for line in handle:
+            record = json.loads(line)
+            key = (record["mnemonic"], record["rd"], record["rs1"],
+                   record["rs2"], record["imm"], record["pc"])
+            inst = static_cache.get(key)
+            if inst is None:
+                from repro.isa.instructions import MEM_SIZE
+                inst = Instruction(
+                    mnemonic=record["mnemonic"],
+                    rd=record["rd"], rs1=record["rs1"], rs2=record["rs2"],
+                    imm=record["imm"],
+                    opclass=opclass_for(record["mnemonic"]),
+                    mem_size=MEM_SIZE.get(record["mnemonic"], 0),
+                    pc=record["pc"])
+                static_cache[key] = inst
+            uops.append(MicroOp(
+                len(uops), inst, addr=record.get("addr", 0),
+                taken=record.get("taken", False),
+                target_pc=record.get("target_pc", 0)))
+        return Trace(uops, name=header.get("name", "trace"))
+    finally:
+        if own:
+            handle.close()

@@ -1,0 +1,72 @@
+"""Set-associative cache model with LRU replacement.
+
+Only tags are modeled — data values live in the functional interpreter.
+Each set keeps its tags in MRU order, so a hit is a list scan plus a
+move-to-front and a miss is an insert-at-front with LRU pop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 1.0
+        return self.hits / self.accesses
+
+
+class Cache:
+    """One cache level."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        if config.num_sets & (config.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.config = config
+        self.name = name
+        self.latency = config.latency
+        self._set_mask = config.num_sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def lookup(self, addr: int) -> bool:
+        """Access one line; returns hit and updates recency/contents."""
+        line = addr >> self._line_shift
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            self.stats.hits += 1
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return True
+        self.stats.misses += 1
+        ways.insert(0, line)
+        if len(ways) > self.config.associativity:
+            ways.pop()
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating recency or contents."""
+        line = addr >> self._line_shift
+        return line in self._sets[line & self._set_mask]
+
+    def invalidate_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()

@@ -1,0 +1,92 @@
+"""Three-level cache hierarchy with line-crossing accounting.
+
+The data cache circuit reads a full access-granularity region (64 B)
+per access — this is the property Section III-C leans on to fuse
+non-contiguous pairs: any set of bytes within one region costs one
+access, while a fused pair spanning a region boundary performs two
+serialized accesses with a small extra penalty (one cycle in modern
+cores, Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ProcessorConfig
+from repro.memory.cache import Cache
+from repro.memory.tlb import TLB
+
+
+@dataclass
+class AccessResult:
+    """Latency and classification of one (possibly fused) access."""
+
+    latency: int
+    crossed_line: bool
+    level: str  # "L1", "L2", "L3", "DRAM"
+
+
+class MemoryHierarchy:
+    """L1D + L2 + L3 + DRAM, fronted by a DTLB."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.config = config
+        self.l1i = Cache(config.l1i, "L1I")
+        self.l1d = Cache(config.l1d, "L1D")
+        self.l2 = Cache(config.l2, "L2")
+        self.l3 = Cache(config.l3, "L3")
+        self.dtlb = TLB()
+        self.dram_latency = config.dram_latency
+        self.line_bytes = config.l1d.line_bytes
+        self.line_crossings = 0
+
+    def _line_latency(self, addr: int) -> AccessResult:
+        if self.l1d.lookup(addr):
+            return AccessResult(self.l1d.latency, False, "L1")
+        if self.l2.lookup(addr):
+            return AccessResult(self.l1d.latency + self.l2.latency, False, "L2")
+        if self.l3.lookup(addr):
+            return AccessResult(
+                self.l1d.latency + self.l2.latency + self.l3.latency, False, "L3")
+        return AccessResult(
+            self.l1d.latency + self.l2.latency + self.l3.latency
+            + self.dram_latency, False, "DRAM")
+
+    def access(self, addr: int, size: int) -> AccessResult:
+        """One load/store access of ``size`` bytes starting at ``addr``.
+
+        ``size`` may cover a fused pair's whole span.  Accesses that
+        cross a line boundary perform two serialized line accesses plus
+        the crossing penalty.
+        """
+        tlb_penalty = self.dtlb.access(addr)
+        first_line = addr // self.line_bytes
+        last_line = (addr + max(size, 1) - 1) // self.line_bytes
+        result = self._line_latency(addr)
+        if last_line != first_line:
+            self.line_crossings += 1
+            second = self._line_latency(last_line * self.line_bytes)
+            latency = (max(result.latency, second.latency)
+                       + self.config.line_crossing_penalty)
+            level = second.level if second.latency > result.latency else result.level
+            return AccessResult(latency + tlb_penalty, True, level)
+        return AccessResult(result.latency + tlb_penalty, False, result.level)
+
+    def fetch_line(self, pc: int) -> int:
+        """Instruction fetch of the line containing ``pc``.
+
+        Returns the added stall (0 on an L1I hit; the L2/L3/DRAM fill
+        latency otherwise).  Instruction lines share the unified L2/L3.
+        """
+        if self.l1i.lookup(pc):
+            return 0
+        if self.l2.lookup(pc):
+            return self.l2.latency
+        if self.l3.lookup(pc):
+            return self.l2.latency + self.l3.latency
+        return self.l2.latency + self.l3.latency + self.dram_latency
+
+    def warm(self, addresses, size: int = 8) -> None:
+        """Pre-touch addresses (used by tests and warmup phases)."""
+        for addr in addresses:
+            self.access(addr, size)

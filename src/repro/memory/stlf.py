@@ -1,0 +1,71 @@
+"""Store-to-load forwarding byte-overlap logic (paper Section II-B).
+
+Each LQ/SQ entry holds the address of the first byte it accesses and a
+max-access-size byte bitvector saying which bytes are live.  Matching
+two entries subtracts the base addresses, shifts one bitvector by the
+delta, then ANDs (overlap) and subset-tests (full containment) — the
+exact procedure the paper describes.  Entries can track up to a full
+64 B region (wide vector support), which is also what lets a fused
+pair live in a single LQ/SQ entry.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Width of the byte bitvector per LQ/SQ entry.
+MAX_ACCESS_BYTES = 64
+
+
+class StoreForwardMatch(enum.Enum):
+    """Outcome of matching a load against an older store entry."""
+
+    NONE = "none"          # no byte overlap
+    FULL = "full"          # every load byte covered: forwardable
+    PARTIAL = "partial"    # some bytes overlap: load must stall/replay
+
+
+def bitvector_for(addr: int, size: int, second_addr: int = None,
+                  second_size: int = 0) -> int:
+    """Byte bitvector relative to the entry's first byte.
+
+    For fused pairs, pass the second access too; both must fall within
+    one MAX_ACCESS_BYTES window of ``min(addr, second_addr)``.
+    """
+    base = addr if second_addr is None else min(addr, second_addr)
+    mask = _range_mask(addr - base, size)
+    if second_addr is not None:
+        mask |= _range_mask(second_addr - base, second_size)
+    return mask
+
+
+def _range_mask(offset: int, size: int) -> int:
+    if size <= 0:
+        return 0
+    if offset < 0 or offset + size > MAX_ACCESS_BYTES:
+        raise ValueError("access outside the %d-byte entry window"
+                         % MAX_ACCESS_BYTES)
+    return ((1 << size) - 1) << offset
+
+
+def match_access(store_addr: int, store_mask: int,
+                 load_addr: int, load_mask: int) -> StoreForwardMatch:
+    """Match a load's bytes against a store entry's bytes.
+
+    Aligns the load bitvector to the store entry's base byte, then ANDs
+    for overlap and subset-tests for full containment.
+    """
+    delta = load_addr - store_addr
+    if delta >= 0:
+        aligned_load = load_mask << delta
+        uncoverable = 0
+    else:
+        # Load bytes below the store's first byte can never be supplied.
+        aligned_load = load_mask >> -delta
+        uncoverable = load_mask & ((1 << min(-delta, MAX_ACCESS_BYTES * 2)) - 1)
+    overlap = store_mask & aligned_load
+    if not overlap:
+        return StoreForwardMatch.NONE
+    if overlap == aligned_load and not uncoverable:
+        return StoreForwardMatch.FULL
+    return StoreForwardMatch.PARTIAL

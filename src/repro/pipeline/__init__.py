@@ -1,0 +1,15 @@
+"""Cycle-level out-of-order pipeline with Helios fusion machinery.
+
+* :mod:`repro.pipeline.uop` — the in-flight (possibly fused) µ-op.
+* :mod:`repro.pipeline.rename` — RAT bookkeeping plus all the NCSF
+  rename-stage structures of Section IV-B (counters, side buffers,
+  Inside-NCS bits, deadlock tags, serializing/store-pair bits).
+* :mod:`repro.pipeline.lsq` — load/store queue entries with fused
+  second-access tracking, STLF, and memory-order violation checks.
+* :mod:`repro.pipeline.core` — the seven-stage cycle loop.
+"""
+
+from repro.pipeline.core import PipelineCore
+from repro.pipeline.uop import FusionKind, PipeUop
+
+__all__ = ["FusionKind", "PipeUop", "PipelineCore"]

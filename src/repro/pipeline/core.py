@@ -1,0 +1,990 @@
+"""The seven-stage out-of-order cycle loop.
+
+Trace-driven: the functional interpreter supplies the correct-path
+dynamic µ-op stream (the paper injects Spike's stream the same way).
+Stages run back-to-front each cycle — Commit, Issue/Execute, Dispatch,
+Rename, Decode, Fetch — so a µ-op takes at least one cycle per stage.
+
+Fusion responsibilities match the paper's Figure 6:
+
+* Decode: consecutive fusion inside the decode group; fusion-predictor
+  lookup for Helios; oracle pair lookup for OracleFusion.
+* Allocation Queue: NCSF'd µ-ops marked (head replaced by the fused
+  µ-op, tail nucleus left as a ghost carrying the NCS Tag).
+* Rename: dependency discovery between catalyst and nucleii
+  (Inside-NCS bits, deadlock tags, serializing/store-pair bits).
+* Dispatch: tail ghosts validate the pending NCSF'd µ-op in the IQ or
+  unfuse it in place.
+* Execute: address-based NCSF misprediction discovery (span > cache
+  access granularity) causing a flush from the tail nucleus.
+* Commit: extended commit groups; UCH training through the post-commit
+  decoupling queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.fusion.oracle import oracle_memory_pairs
+from repro.fusion.taxonomy import span
+from repro.fusion.window import ConsecutiveFusionWindow
+from repro.isa.instructions import EXECUTION_LATENCY, OpClass
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.lsq import LoadBlock, LoadStoreUnit, LSQEntry
+from repro.pipeline.rename import RenameUnit
+from repro.pipeline.uop import FusionKind, PipeUop, make_tail_ghost
+from repro.pipeline.uop_cache import CachedSlot, UopCache
+from repro.predictors.branch import BranchPredictor
+from repro.predictors.fp_variants import make_fusion_predictor
+from repro.predictors.storeset import StoreSetPredictor
+from repro.predictors.uch import UnfusedCommittedHistory
+from repro.predictors.update_queue import UCHUpdateQueue
+
+def _seq_key(uop):
+    return uop.seq
+
+
+#: Latency of a full store-to-load forward (SQ read instead of cache).
+STLF_LATENCY = 5
+
+
+@dataclass
+class CoreStats:
+    """Raw counters accumulated by the cycle loop."""
+
+    cycles: int = 0
+    instructions: int = 0
+    uops_committed: int = 0
+    # Fusion census (pairs).
+    csf_memory_pairs: int = 0
+    ncsf_memory_pairs: int = 0
+    other_pairs: int = 0
+    ncsf_distance_sum: int = 0
+    dbr_pairs: int = 0
+    # Fusion predictor outcome (Helios).
+    fp_fusions_attempted: int = 0
+    fp_fusions_correct: int = 0
+    fp_address_mispredictions: int = 0
+    fp_legality_unfusions: int = 0
+    fp_predictions_without_head: int = 0
+    # Stalls (cycles in which the stage moved nothing while having input).
+    fetch_stall_cycles: int = 0
+    rename_stall_cycles: int = 0
+    dispatch_stall_cycles: int = 0
+    dispatch_stall_rob: int = 0
+    dispatch_stall_iq: int = 0
+    dispatch_stall_lq: int = 0
+    dispatch_stall_sq: int = 0
+    # Flushes.
+    branch_mispredictions: int = 0
+    order_violation_flushes: int = 0
+    fusion_flushes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def fused_pairs(self) -> int:
+        return self.csf_memory_pairs + self.ncsf_memory_pairs + self.other_pairs
+
+
+class PipelineCore:
+    """One simulated core bound to one dynamic trace."""
+
+    def __init__(self, trace: Trace, config: ProcessorConfig):
+        self.trace = list(trace)
+        self.config = config
+        mode = config.fusion_mode
+
+        # Frontend state.
+        self.fetch_index = 0
+        self.fetch_buffer: deque = deque()
+        self.fetch_buffer_cap = 2 * config.fetch_width
+        self.fetch_resume_cycle = 0
+        self.waiting_branch: Optional[PipeUop] = None
+        self._stall_on_branch_seq: Optional[int] = None
+        self._fetch_line: Optional[int] = None  # current L1I line
+
+        # Queues and window structures.
+        self.aq: deque = deque()
+        self.rename_latch: deque = deque()
+        self.rename_latch_cap = 2 * config.dispatch_width
+        # IQ: awake entries are scanned oldest-first each cycle; entries
+        # known not to wake before a future cycle sleep in a heap.
+        self._iq_awake: List[PipeUop] = []
+        self._iq_sleep: List = []
+        self._iq_parked: set = set()
+        self.iq_count = 0
+        self.rob: deque = deque()
+        self.lsu = LoadStoreUnit(config.lq_size, config.sq_size)
+        self.rename_unit = RenameUnit(config)
+        self.memory = MemoryHierarchy(config)
+        self.branch_pred = BranchPredictor()
+        self.storeset = StoreSetPredictor()
+        self._lsq_entries: Dict[int, LSQEntry] = {}
+
+        # Store drain (post-commit write into the cache).
+        self._drain_free_at = 0
+        self._draining: List[LSQEntry] = []
+
+        # Fusion machinery.
+        self.window = ConsecutiveFusionWindow.for_mode(mode)
+        self.fp: Optional[FusionPredictor] = None
+        self.uch_loads: Optional[UnfusedCommittedHistory] = None
+        self.uch_stores: Optional[UnfusedCommittedHistory] = None
+        self.uch_load_queue: Optional[UCHUpdateQueue] = None
+        self.uch_store_queue: Optional[UCHUpdateQueue] = None
+        if mode is FusionMode.HELIOS:
+            self.fp = make_fusion_predictor(config)
+            self.uch_loads = UnfusedCommittedHistory(
+                entries=config.uch_load_entries,
+                line_bytes=config.cache_access_granularity,
+                max_distance=config.max_fusion_distance)
+            self.uch_stores = UnfusedCommittedHistory(
+                entries=config.uch_store_entries,
+                line_bytes=config.cache_access_granularity,
+                max_distance=config.max_fusion_distance)
+            self.uch_load_queue = UCHUpdateQueue(
+                capacity=config.uch_queue_entries,
+                inserts_per_cycle=config.commit_width, drains_per_cycle=1)
+            self.uch_store_queue = UCHUpdateQueue(
+                capacity=config.uch_queue_entries,
+                inserts_per_cycle=config.commit_width, drains_per_cycle=1)
+        self._oracle_tail_to_head: Dict[int, int] = {}
+        if mode is FusionMode.ORACLE:
+            pairs = oracle_memory_pairs(
+                self.trace, granularity=config.cache_access_granularity,
+                max_distance=config.max_fusion_distance)
+            self._oracle_tail_to_head = {
+                p.tail_seq: p.head_seq for p in pairs}
+
+        # Optional µ-op cache preserving consecutive-fusion groupings
+        # (Section IV-A's integration discussion; off by default, as in
+        # the paper's evaluation).
+        self.uop_cache = UopCache() if config.uop_cache_enabled else None
+
+        # AQ index for NCSF head lookup by sequence number.
+        self._aq_by_seq: Dict[int, PipeUop] = {}
+
+        self.commit_counter = 0
+        self.now = 0
+        self.stats = CoreStats()
+
+        # Interrupt handling (Section IV-B3): an interrupt may only be
+        # processed once any extended commit group in flight at the ROB
+        # head has finished committing.
+        self.pending_interrupt = False
+        self._interrupt_requested_at: Optional[int] = None
+        self._commit_group_end: Optional[int] = None
+        self.interrupts_taken = 0
+        self.interrupt_deferral_cycles = 0
+
+        # Per-class issue ports, indexed by OpClass value (hot path).
+        quota = {
+            OpClass.INT_ALU: config.alu_ports,
+            OpClass.INT_MUL: config.mul_ports,
+            OpClass.INT_DIV: config.div_ports,
+            OpClass.FP_ALU: config.fp_ports,
+            OpClass.FP_MUL: config.fp_ports,
+            OpClass.FP_DIV: config.fp_ports,
+            OpClass.LOAD: config.load_ports,
+            OpClass.STORE: config.store_ports,
+            OpClass.BRANCH: config.branch_ports,
+            OpClass.JUMP: config.branch_ports,
+            OpClass.FENCE: 1,
+            OpClass.SYSTEM: 1,
+            OpClass.NOP: config.alu_ports,
+        }
+        self._port_quota = [quota[cls] for cls in sorted(quota)]
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, max_cycles: Optional[int] = None) -> CoreStats:
+        """Simulate until the whole trace commits; returns the counters."""
+        total_instructions = len(self.trace)
+        limit = max_cycles or (200 * total_instructions + 10_000)
+        while self.stats.instructions < total_instructions:
+            self.now += 1
+            if self.now > limit:
+                raise RuntimeError(
+                    "simulation did not converge at cycle %d "
+                    "(%d/%d instructions committed)"
+                    % (self.now, self.stats.instructions, total_instructions))
+            self._drain_stores()
+            self._commit()
+            self._issue()
+            self._dispatch()
+            self._rename()
+            self._decode()
+            self._fetch()
+            self._train_uch()
+        self.stats.cycles = self.now
+        return self.stats
+
+    # ---------------------------------------------------------------- fetch --
+
+    def _fetch(self) -> None:
+        if self.now < self.fetch_resume_cycle:
+            self.stats.fetch_stall_cycles += 1
+            return
+        if self._stall_on_branch_seq is not None:
+            # A mispredicted branch is fetched but not yet decoded.
+            self.stats.fetch_stall_cycles += 1
+            return
+        waiting = self.waiting_branch
+        if waiting is not None:
+            if waiting.squashed:
+                self.waiting_branch = None
+            elif waiting.complete_c is not None:
+                resume = waiting.complete_c + self.config.branch_mispredict_penalty
+                if self.now >= resume:
+                    self.waiting_branch = None
+                else:
+                    self.stats.fetch_stall_cycles += 1
+                    return
+            else:
+                self.stats.fetch_stall_cycles += 1
+                return
+        fetched = 0
+        trace = self.trace
+        line_mask = ~(self.memory.line_bytes - 1)
+        while (fetched < self.config.fetch_width
+               and self.fetch_index < len(trace)
+               and len(self.fetch_buffer) < self.fetch_buffer_cap):
+            mo = trace[self.fetch_index]
+            line = mo.pc & line_mask
+            if line != self._fetch_line:
+                # Crossing into a new instruction line: consult the L1I.
+                stall = self.memory.fetch_line(mo.pc)
+                self._fetch_line = line
+                if stall:
+                    self.fetch_resume_cycle = self.now + stall
+                    self.stats.fetch_stall_cycles += 1
+                    return
+            self.fetch_buffer.append(mo)
+            self.fetch_index += 1
+            fetched += 1
+            if mo.is_branch:
+                prediction = self.branch_pred.predict(mo.pc)
+                self.branch_pred.update(mo.pc, mo.taken)
+                if prediction != mo.taken:
+                    # Fetch stalls after the mispredicted branch until
+                    # it resolves (correct-path trace approximation).
+                    self.stats.branch_mispredictions += 1
+                    self._stall_on_branch_seq = mo.seq
+                    break
+
+    # ---------------------------------------------------------------- decode --
+
+    def _admit(self, mo) -> PipeUop:
+        """Create a PipeUop for one decoded µ-op (branch markers etc.)."""
+        uop = PipeUop(mo)
+        uop.fetch_c = self.now
+        if mo.is_branch and self._stall_on_branch_seq == mo.seq:
+            # Attach the fetch-stall marker to the real PipeUop.
+            uop.mispredicted_branch = True
+            self.waiting_branch = uop
+            self._stall_on_branch_seq = None
+        return uop
+
+    def _admit_single(self, uop: PipeUop) -> bool:
+        """Run NCSF checks and enqueue one unfused µ-op into the AQ.
+
+        Returns True when the µ-op was consumed as a tail nucleus
+        (oracle) and nothing was appended for it.
+        """
+        result = None
+        if uop.is_memory and not uop.mispredicted_branch:
+            if self.fp is not None:
+                result = self._try_helios_fusion(uop)
+            elif self._oracle_tail_to_head:
+                result = self._try_oracle_fusion(uop)
+        if result == "consumed":
+            return True  # oracle: the tail nucleus disappears
+        if result is not None:
+            # Helios: the tail nucleus stays in the AQ as a ghost
+            # carrying its NCS Tag (Section IV-B1).
+            self.aq.append(result)
+            return True
+        self.aq.append(uop)
+        self._aq_by_seq[uop.seq] = uop
+        return False
+
+    def _decode(self) -> None:
+        if self.uop_cache is not None and self.fetch_buffer:
+            group = self.uop_cache.lookup(
+                self.fetch_buffer[0].pc,
+                [mo.pc for mo in self.fetch_buffer])
+            if group is not None:
+                self._replay_cached_group(group)
+                return
+        decoded = 0
+        previous: Optional[PipeUop] = None
+        config = self.config
+        group_start_pc: Optional[int] = None
+        slots = []
+        while (decoded < config.decode_width and self.fetch_buffer
+               and len(self.aq) < config.aq_size):
+            mo = self.fetch_buffer.popleft()
+            decoded += 1
+            if group_start_pc is None:
+                group_start_pc = mo.pc
+            uop = self._admit(mo)
+
+            # 1. Consecutive fusion inside the decode group.
+            if previous is not None and self.window is not None \
+                    and not previous.is_fused and not previous.is_tail_ghost \
+                    and mo.seq == previous.seq + 1:
+                pair = self.window.match(previous.head, mo)
+                if pair is not None:
+                    previous.fuse_consecutive(mo, pair.idiom, pair.is_memory)
+                    if slots:
+                        slots[-1] = CachedSlot(
+                            pcs=(previous.head.pc, mo.pc),
+                            idiom=pair.idiom, is_memory_pair=pair.is_memory)
+                    previous = None  # a fused µ-op cannot fuse again
+                    continue
+
+            # NCSF'd groupings are control-flow dependent and are never
+            # cached (Section IV-A): record the µ-op as a single slot.
+            slots.append(CachedSlot(pcs=(mo.pc,)))
+            if self._admit_single(uop):
+                previous = None
+            else:
+                previous = uop
+        if self.uop_cache is not None and group_start_pc is not None:
+            self.uop_cache.fill(group_start_pc, slots)
+
+    def _replay_cached_group(self, group) -> None:
+        """Deliver a cached decode group, fusions pre-applied."""
+        decoded = 0
+        config = self.config
+        for slot in group:
+            if decoded + len(slot.pcs) > config.decode_width:
+                break
+            if len(self.aq) >= config.aq_size:
+                break
+            head_mo = self.fetch_buffer.popleft()
+            decoded += len(slot.pcs)
+            uop = self._admit(head_mo)
+            if slot.fused:
+                tail_mo = self.fetch_buffer.popleft()
+                uop.fuse_consecutive(tail_mo, slot.idiom,
+                                     slot.is_memory_pair)
+                self.aq.append(uop)
+                self._aq_by_seq[uop.seq] = uop
+            else:
+                self._admit_single(uop)
+
+    def _find_aq_head(self, head_seq: int, tail_mo) -> Optional[PipeUop]:
+        head = self._aq_by_seq.get(head_seq)
+        if head is None or head.is_fused or head.is_tail_ghost:
+            return None
+        if head.is_load != tail_mo.is_load or not head.is_memory:
+            return None
+        if head.is_store and head.head.base_reg != tail_mo.base_reg:
+            # DBR store pairs would need four source registers; the
+            # paper finds them negligible (0.54%) and supports only
+            # SBR store pair fusion (Section IV-B).
+            return None
+        return head
+
+    def _try_helios_fusion(self, uop: PipeUop):
+        """FP lookup for a decoded memory µ-op (as the tail nucleus)."""
+        head_mo = uop.head
+        if head_mo.is_load and head_mo.dest is not None                 and head_mo.dest == head_mo.base_reg:
+            # Pointer-chase step: fusing it as a tail would serialize
+            # the chase behind the head's sources (see fusion.oracle).
+            return None
+        prediction = self.fp.predict(uop.pc, self.branch_pred.ghr)
+        if prediction is None:
+            return None
+        head = self._find_aq_head(uop.seq - prediction.distance, uop.head)
+        if head is None:
+            self.stats.fp_predictions_without_head += 1
+            return None
+        head.fuse_ncsf(uop.head, "load_pair" if uop.is_load else "store_pair")
+        head.fp_prediction = prediction
+        self.stats.fp_fusions_attempted += 1
+        ghost = make_tail_ghost(uop.head, head)
+        ghost.fetch_c = self.now
+        return ghost
+
+    def _try_oracle_fusion(self, uop: PipeUop):
+        head_seq = self._oracle_tail_to_head.get(uop.seq)
+        if head_seq is None:
+            return None
+        head = self._find_aq_head(head_seq, uop.head)
+        if head is None:
+            return None  # head already left the AQ: fusion impossible
+        head.fuse_ncsf(uop.head, "load_pair" if uop.is_load else "store_pair")
+        head.validate()  # the oracle needs no validation pass
+        return "consumed"
+
+    # ---------------------------------------------------------------- rename --
+
+    def _rename(self) -> None:
+        renamed = 0
+        blocked = False
+        config = self.config
+        while renamed < config.rename_width and self.aq:
+            if len(self.rename_latch) >= self.rename_latch_cap:
+                blocked = True
+                break
+            uop = self.aq[0]
+
+            if uop.is_tail_ghost and uop.ghost_of.fusion is not FusionKind.NCSF:
+                # The head was unfused before we renamed: become a
+                # regular µ-op (the NCS Tag marked us not-fused).
+                uop.is_tail_ghost = False
+                uop.ghost_of = None
+
+            if uop.is_tail_ghost:
+                outcome = self.rename_unit.rename_tail_ghost(uop)
+                self.aq.popleft()
+                self._aq_by_seq.pop(uop.seq, None)
+                uop.rename_c = self.now
+                if outcome == "validated":
+                    if uop.ghost_of.rename_c == self.now:
+                        # Both nucleii in the same rename group: Rename
+                        # fixes any RaW in place and the NCSF'd µ-op
+                        # leaves Rename validated (Section IV-B2).
+                        uop.ghost_of.validate()
+                    else:
+                        self.rename_latch.append(uop)  # will flip NCS Ready
+                else:
+                    self._unfuse_pending(uop.ghost_of, outcome)
+                    # The tail nucleus now needs its own rename + entries.
+                    uop.is_tail_ghost = False
+                    uop.ghost_of = None
+                    if not self.rename_unit.can_allocate(uop):
+                        # Rare: re-queue at AQ head and retry next cycle.
+                        self.aq.appendleft(uop)
+                        self._aq_by_seq[uop.seq] = uop
+                        blocked = True
+                        break
+                    self.rename_unit.rename(uop)
+                    self.rename_latch.append(uop)
+                renamed += 1
+                continue
+
+            if not self.rename_unit.can_allocate(uop):
+                blocked = True
+                break
+            self.aq.popleft()
+            self._aq_by_seq.pop(uop.seq, None)
+            self.rename_unit.rename(uop)
+            uop.rename_c = self.now
+            self.rename_latch.append(uop)
+            renamed += 1
+        if renamed == 0 and (blocked or (self.aq and len(self.rename_latch)
+                                         >= self.rename_latch_cap)):
+            self.stats.rename_stall_cycles += 1
+
+    def _unfuse_pending(self, head: PipeUop, reason: str) -> None:
+        """Cases 2-4: unfuse a pending NCSF'd µ-op in place."""
+        self.stats.fp_legality_unfusions += 1
+        if head.fp_prediction is not None and self.fp is not None:
+            self.fp.resolve(head.fp_prediction, correct=False)
+            head.fp_prediction = None
+        before = head.dests
+        head.unfuse(reason)
+        dropped = [d for d in before if d not in head.dests]
+        if head.rename_c:
+            self.rename_unit.release(dropped)
+        entry = self._lsq_entries.get(head.seq)
+        if entry is not None:
+            entry.drop_tail()
+
+    # --------------------------------------------------------------- dispatch --
+
+    def _dispatch(self) -> None:
+        dispatched = 0
+        blocked_reason = None
+        config = self.config
+        while dispatched < config.dispatch_width and self.rename_latch:
+            uop = self.rename_latch[0]
+
+            if uop.is_tail_ghost:
+                # Validated tail nucleus: spend a dispatch slot setting
+                # the NCS Ready bit (and fixing source names) in the
+                # head's IQ entry, then vanish.
+                head = uop.ghost_of
+                if head.fusion is FusionKind.NCSF:
+                    head.validate()
+                self.rename_latch.popleft()
+                dispatched += 1
+                continue
+
+            if len(self.rob) >= config.rob_size:
+                blocked_reason = "rob"
+                break
+            if self.iq_count >= config.iq_size:
+                blocked_reason = "iq"
+                break
+            if uop.is_load and self.lsu.lq_full():
+                blocked_reason = "lq"
+                break
+            if uop.is_store and self.lsu.sq_full():
+                blocked_reason = "sq"
+                break
+
+            self.rename_latch.popleft()
+            uop.dispatch_c = self.now
+            self.rob.append(uop)
+            if uop.opclass is OpClass.NOP:
+                uop.complete_c = self.now  # NOPs need no execution
+            else:
+                self._iq_awake.append(uop)
+                self.iq_count += 1
+                uop.in_iq = True
+            if uop.is_memory:
+                self._lsq_entries[uop.seq] = self.lsu.allocate(uop)
+                if uop.is_store:
+                    self.storeset.store_dispatched(uop.pc, uop.seq)
+            dispatched += 1
+
+        if dispatched == 0 and self.rename_latch:
+            self.stats.dispatch_stall_cycles += 1
+            if blocked_reason == "rob":
+                self.stats.dispatch_stall_rob += 1
+            elif blocked_reason == "iq":
+                self.stats.dispatch_stall_iq += 1
+            elif blocked_reason == "lq":
+                self.stats.dispatch_stall_lq += 1
+            elif blocked_reason == "sq":
+                self.stats.dispatch_stall_sq += 1
+
+    # ----------------------------------------------------------------- issue --
+
+    def _issue(self) -> None:
+        now = self.now
+        sleep = self._iq_sleep
+        # Wake sleeping entries whose earliest-ready time has come.
+        if sleep and sleep[0][0] <= now:
+            woken = []
+            while sleep and sleep[0][0] <= now:
+                entry = heapq.heappop(sleep)[2]
+                if entry.in_iq and not entry.squashed:
+                    woken.append(entry)
+            if woken:
+                self._iq_awake.extend(woken)
+                self._iq_awake.sort(key=_seq_key)
+        awake = self._iq_awake
+        if not awake:
+            return
+        budget = self.config.issue_width
+        ports = self._port_quota[:]
+        flush_seq: Optional[int] = None
+        keep: List[PipeUop] = []
+        issued = 0
+        for index, uop in enumerate(awake):
+            if budget == 0 or (flush_seq is not None and uop.seq >= flush_seq):
+                keep.extend(awake[index:])
+                break
+            if not uop.ncs_ready:
+                keep.append(uop)  # pending NCSF'd µ-op: may not issue
+                continue
+            if uop.dispatch_c >= now:
+                keep.append(uop)  # issue next cycle at the earliest
+                continue
+            ready = uop.ready_at()
+            if ready is None:
+                # Some producer has not even issued: park on its wait
+                # list; we are woken exactly when it issues.
+                producer = uop.first_unissued_producer()
+                if producer is not None:
+                    producer.park(uop)
+                    self._iq_parked.add(uop)
+                else:
+                    heapq.heappush(sleep, (now + 1, uop.seq, uop))
+                continue
+            if ready > now:
+                # Producers' completion times are fixed at their issue,
+                # so this entry cannot wake before `ready`.
+                uop.not_before = ready
+                heapq.heappush(sleep, (ready, uop.seq, uop))
+                continue
+            if ports[uop.opclass] == 0:
+                keep.append(uop)
+                continue
+            result = self._try_execute(uop)
+            if result == "blocked":
+                # LSQ conflict: re-check shortly (replay loop).
+                heapq.heappush(sleep, (now + 2, uop.seq, uop))
+                continue
+            if isinstance(result, int):
+                flush_seq = result  # flush decided; stop issuing younger
+            ports[uop.opclass] -= 1
+            budget -= 1
+            uop.issue_c = now
+            uop.in_iq = False
+            issued += 1
+            if uop.waiters:
+                self._wake_waiters(uop)
+        self._iq_awake = keep
+        self.iq_count -= issued
+        if flush_seq is not None:
+            self._flush_from(flush_seq)
+
+    def _wake_waiters(self, producer: PipeUop) -> None:
+        """Producer issued: schedule its parked consumers to re-check."""
+        wake = producer.complete_c
+        sleep = self._iq_sleep
+        parked = self._iq_parked
+        for consumer in producer.waiters:
+            if not consumer.parked:
+                continue  # stale entry (re-armed by a flush repair)
+            consumer.parked = False
+            parked.discard(consumer)
+            if consumer.in_iq and not consumer.squashed:
+                heapq.heappush(sleep, (wake, consumer.seq, consumer))
+        producer.waiters = None
+
+    def _try_execute(self, uop: PipeUop):
+        """Start execution; returns "ok", "blocked", or a flush seq."""
+        now = self.now
+        if uop.is_load:
+            return self._execute_load(uop)
+        if uop.is_store:
+            return self._execute_store(uop)
+        latency = EXECUTION_LATENCY[uop.opclass]
+        uop.complete_c = now + latency
+        return "ok"
+
+    def _check_fused_span(self, uop: PipeUop) -> bool:
+        """Case 5: the pair spans more than one access-granularity region."""
+        head, tail = uop.head, uop.tail
+        return span(head.addr, head.size, tail.addr, tail.size) \
+            <= self.config.cache_access_granularity
+
+    def _execute_load(self, uop: PipeUop):
+        if uop.fusion is FusionKind.NCSF and uop.tail is not None \
+                and not self._check_fused_span(uop):
+            return self._fusion_mispredict(uop)
+        entry = self._lsq_entries[uop.seq]
+        load_pc = uop.pc
+        same_set = self.storeset.same_set
+        block, store = self.lsu.check_load(
+            entry, lambda store_pc: same_set(load_pc, store_pc))
+        if store is not None and store.uop.seq > uop.seq and block in (
+                LoadBlock.WAIT_STORE_DRAIN, LoadBlock.WAIT_STORE_DATA,
+                LoadBlock.WAIT_STORE_ADDR):
+            # The blocking store is in this fused pair's *catalyst*.  Its
+            # drain waits on our commit, and its data or address may
+            # even depend on our result, so waiting can deadlock.
+            # Unfuse and flush from the tail nucleus (the same repair
+            # path as an address misprediction).
+            return self._fusion_mispredict(uop)
+        if block in (LoadBlock.WAIT_STORE_DATA, LoadBlock.WAIT_STORE_DRAIN,
+                     LoadBlock.WAIT_STORE_ADDR):
+            return "blocked"
+        entry.addr_known = True
+        if block is LoadBlock.FORWARD:
+            uop.complete_c = self.now + STLF_LATENCY
+            if uop.tail is not None and uop.tail.is_memory:
+                uop.tail_complete_c = uop.complete_c
+                uop.tail_dest_reg = uop.tail.dest
+            return "ok"
+        if uop.tail is not None and uop.tail.is_memory:
+            self._access_fused_pair(uop)
+            return "ok"
+        addr, size = uop.mem_span
+        access = self.memory.access(addr, size)
+        uop.complete_c = self.now + access.latency
+        return "ok"
+
+    def _access_fused_pair(self, uop: PipeUop) -> None:
+        """One wide cache access for a fused load pair.
+
+        Within one line frame, a single access serves both destinations.
+        A line-crossing pair performs two serialized accesses (the small
+        AMD-style penalty, Section II-B), and — per the paper — the two
+        destination registers are provided to dependents independently:
+        the head's consumers do not wait for the tail's line.
+        """
+        head, tail = uop.head, uop.tail
+        line = self.memory.line_bytes
+        if head.addr // line == tail.addr // line \
+                and (head.end_addr - 1) // line == (tail.end_addr - 1) // line:
+            access = self.memory.access(min(head.addr, tail.addr),
+                                        uop.mem_span[1])
+            uop.complete_c = self.now + access.latency
+            uop.tail_complete_c = uop.complete_c
+        else:
+            head_access = self.memory.access(head.addr, head.size)
+            tail_access = self.memory.access(tail.addr, tail.size)
+            penalty = self.config.line_crossing_penalty
+            uop.complete_c = self.now + head_access.latency
+            uop.tail_complete_c = self.now + penalty + max(
+                head_access.latency, tail_access.latency)
+        uop.tail_dest_reg = tail.dest
+
+    def _execute_store(self, uop: PipeUop):
+        if uop.fusion is FusionKind.NCSF and uop.tail is not None \
+                and not self._check_fused_span(uop):
+            return self._fusion_mispredict(uop)
+        entry = self._lsq_entries[uop.seq]
+        entry.addr_known = True
+        uop.complete_c = self.now + 1  # AGU + data capture
+        victims = self.lsu.find_violations(entry)
+        if victims:
+            oldest = min(victims, key=lambda e: e.uop.seq)
+            self.storeset.train_violation(oldest.uop.pc, uop.pc)
+            self.stats.order_violation_flushes += 1
+            return oldest.uop.seq
+        return "ok"
+
+    def _fusion_mispredict(self, uop: PipeUop):
+        """Case 5 repair: unfuse, flush from the tail nucleus, refetch."""
+        self.stats.fp_address_mispredictions += 1
+        self.stats.fusion_flushes += 1
+        if uop.fp_prediction is not None and self.fp is not None:
+            self.fp.resolve(uop.fp_prediction, correct=False)
+            uop.fp_prediction = None
+        tail_seq = uop.tail.seq
+        before = uop.dests
+        uop.unfuse("span")
+        self.rename_unit.release([d for d in before if d not in uop.dests])
+        entry = self._lsq_entries.get(uop.seq)
+        if entry is not None:
+            entry.drop_tail()
+        # The head itself still executes this cycle as a simple access.
+        if uop.is_load:
+            addr, size = uop.mem_span
+            access = self.memory.access(addr, size)
+            uop.complete_c = self.now + access.latency
+            entry.addr_known = True
+        else:
+            entry.addr_known = True
+            uop.complete_c = self.now + 1
+        return tail_seq
+
+    # ----------------------------------------------------------------- flush --
+
+    def _flush_from(self, seq: int) -> None:
+        """Squash every instruction younger than ``seq`` and refetch."""
+        # Frontend.
+        self.fetch_index = min(self.fetch_index, seq)
+        self.fetch_buffer = deque(
+            mo for mo in self.fetch_buffer if mo.seq < seq)
+        self.fetch_resume_cycle = max(
+            self.fetch_resume_cycle,
+            self.now + self.config.branch_mispredict_penalty)
+        self._stall_on_branch_seq = None
+        if self.waiting_branch is not None and self.waiting_branch.seq >= seq:
+            self.waiting_branch = None
+
+        def squash(uop: PipeUop) -> None:
+            if uop.squashed:
+                return  # IQ entries are also in the ROB: release once
+            uop.squashed = True
+            if uop.rename_c and not uop.committed:
+                self.rename_unit.release(uop.dests)
+
+        survivors = deque()
+        for uop in self.aq:
+            if uop.seq >= seq:
+                squash(uop)
+                self._aq_by_seq.pop(uop.seq, None)
+            else:
+                survivors.append(uop)
+        self.aq = survivors
+        self.rename_latch = deque(
+            u for u in self.rename_latch
+            if u.seq < seq or (squash(u) or False))
+        self._iq_awake = [u for u in self._iq_awake
+                          if u.seq < seq or (squash(u) or False)]
+        live_sleepers = []
+        for wake, sseq, uop in self._iq_sleep:
+            if uop.seq < seq:
+                live_sleepers.append((wake, sseq, uop))
+            else:
+                squash(uop)
+        heapq.heapify(live_sleepers)
+        self._iq_sleep = live_sleepers
+        new_rob = deque()
+        for uop in self.rob:
+            if uop.seq < seq:
+                new_rob.append(uop)
+            else:
+                squash(uop)
+                self._lsq_entries.pop(uop.seq, None)
+        self.rob = new_rob
+        # Parked entries live in no scan list; recount after every
+        # collection has marked its squashed members.
+        self._iq_parked = {u for u in self._iq_parked if not u.squashed}
+        self.iq_count = (len(self._iq_awake) + len(live_sleepers)
+                         + len(self._iq_parked))
+        self.lsu.squash_from(seq)
+        self.rename_unit.flush_from(seq)
+        self.storeset.flush()
+        for entry in self.lsu.sq:
+            if entry.uop.complete_c is not None:
+                self.storeset.store_dispatched(entry.uop.pc, entry.uop.seq)
+
+        # Surviving fused µ-ops whose tail was squashed must unfuse
+        # (their tail nucleus will be refetched as a normal µ-op).
+        for collection in (self.aq, self.rename_latch, self.rob):
+            for uop in collection:
+                if uop.tail is not None and uop.tail.seq >= seq \
+                        and not uop.is_tail_ghost:
+                    before = uop.dests
+                    was_pending = uop.pending
+                    if uop.fp_prediction is not None and self.fp is not None:
+                        self.fp.resolve(uop.fp_prediction, correct=False)
+                        uop.fp_prediction = None
+                    uop.unfuse("flush")
+                    uop.extra_producers = []
+                    if uop.parked and uop.in_iq:
+                        # It may be parked on a squashed catalyst
+                        # producer's wait list: re-arm it explicitly.
+                        uop.parked = False
+                        self._iq_parked.discard(uop)
+                        heapq.heappush(self._iq_sleep,
+                                       (self.now + 1, uop.seq, uop))
+                    if uop.rename_c:
+                        self.rename_unit.release(
+                            [d for d in before if d not in uop.dests])
+                    entry = self._lsq_entries.get(uop.seq)
+                    if entry is not None:
+                        entry.drop_tail()
+                    if was_pending:
+                        self.stats.fp_legality_unfusions += 1
+
+    # ---------------------------------------------------------------- commit --
+
+    def request_interrupt(self) -> None:
+        """Ask for an interrupt; it is processed at the next commit
+        boundary that is not inside an extended commit group."""
+        if not self.pending_interrupt:
+            self.pending_interrupt = True
+            self._interrupt_requested_at = self.now
+
+    def _maybe_take_interrupt(self) -> None:
+        if not self.pending_interrupt:
+            return
+        if self._commit_group_end is not None:
+            return  # mid extended commit group: defer (Section IV-B3)
+        self.pending_interrupt = False
+        self.interrupts_taken += 1
+        self.interrupt_deferral_cycles += self.now - self._interrupt_requested_at
+
+    def _commit(self) -> None:
+        committed = 0
+        config = self.config
+        self._maybe_take_interrupt()
+        while committed < config.commit_width and self.rob:
+            uop = self.rob[0]
+            if uop.complete_c is None or uop.complete_c > self.now:
+                break
+            if uop.tail_complete_c is not None and uop.tail_complete_c > self.now:
+                break  # the tail half of a fused load pair is in flight
+            if uop.late_producers:
+                # Fused store pair: the tail data must be captured.
+                late = uop.late_ready_at()
+                if late is None or late > self.now:
+                    break
+            if uop.tail is not None and not self._commit_group_ready(uop):
+                break
+            self.rob.popleft()
+            uop.committed = True
+            # Extended commit group tracking: a fused µ-op opens a group
+            # covering everything up to its tail nucleus.
+            if uop.tail is not None:
+                end = uop.tail.seq
+                if self._commit_group_end is None \
+                        or end > self._commit_group_end:
+                    self._commit_group_end = end
+            if self._commit_group_end is not None \
+                    and uop.youngest_seq >= self._commit_group_end:
+                self._commit_group_end = None
+                self._maybe_take_interrupt()
+            self.rename_unit.release(uop.dests)
+            self._account_commit(uop)
+            if uop.is_memory:
+                entry = self._lsq_entries.pop(uop.seq, None)
+                if entry is not None:
+                    if uop.is_load:
+                        self.lsu.remove(entry)
+                    else:
+                        self._schedule_drain(entry)
+                        self.storeset.store_completed(uop.pc, uop.seq)
+            committed += 1
+
+    def _commit_group_ready(self, uop: PipeUop) -> bool:
+        """Extended commit group: nucleii *and* catalyst must be ready."""
+        tail_seq = uop.tail.seq
+        for other in self.rob:
+            if other is uop:
+                continue
+            if other.seq > tail_seq:
+                break
+            if other.complete_c is None or other.complete_c > self.now:
+                return False
+        return True
+
+    def _account_commit(self, uop: PipeUop) -> None:
+        stats = self.stats
+        stats.uops_committed += 1
+        stats.instructions += uop.instruction_count
+        if uop.fusion is FusionKind.CSF:
+            stats.csf_memory_pairs += 1
+        elif uop.fusion is FusionKind.NCSF:
+            if uop.tail.seq == uop.seq + 1:
+                stats.csf_memory_pairs += 1
+            else:
+                stats.ncsf_memory_pairs += 1
+                stats.ncsf_distance_sum += uop.tail.seq - uop.seq
+            if uop.head.base_reg != uop.tail.base_reg:
+                stats.dbr_pairs += 1
+            if uop.fp_prediction is not None and self.fp is not None:
+                self.fp.resolve(uop.fp_prediction, correct=True)
+                uop.fp_prediction = None
+                stats.fp_fusions_correct += 1
+        elif uop.fusion is FusionKind.OTHER:
+            stats.other_pairs += 1
+
+        # UCH training: only unfused memory µ-ops are inserted.
+        if self.uch_loads is not None and uop.is_memory and uop.tail is None:
+            queue = self.uch_load_queue if uop.is_load else self.uch_store_queue
+            queue.push(uop.pc, uop.head.addr, self.commit_counter,
+                       self.branch_pred.ghr)
+        self.commit_counter += uop.instruction_count
+
+    # ------------------------------------------------------------- store drain --
+
+    def _schedule_drain(self, entry: LSQEntry) -> None:
+        """Post-commit: the store writes the cache through one drain port."""
+        start = max(self.now, self._drain_free_at)
+        self._drain_free_at = start + 1
+        addr, size = entry.uop.mem_span
+        access = self.memory.access(addr, size)
+        entry.drained_c = start + access.latency
+        self._draining.append(entry)
+
+    def _drain_stores(self) -> None:
+        if not self._draining:
+            return
+        done = [e for e in self._draining if e.drained_c <= self.now]
+        for entry in done:
+            self.lsu.remove(entry)
+            self._draining.remove(entry)
+
+    # ----------------------------------------------------------- UCH training --
+
+    def _train_uch(self) -> None:
+        if self.fp is None:
+            return
+        for queue, uch in ((self.uch_load_queue, self.uch_loads),
+                           (self.uch_store_queue, self.uch_stores)):
+            queue.begin_cycle()
+            queue.drain(observe=uch.observe, train=self.fp.train)

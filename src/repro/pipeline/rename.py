@@ -1,0 +1,284 @@
+"""Register renaming with the Helios NCSF machinery (Section IV-B2).
+
+The unit tracks, per architectural register, which in-flight µ-op
+produces its current value (the RAT), and implements all the NCSF
+additions:
+
+* ``Max Active NCS`` / ``Active NCS`` nesting counters;
+* the rename side buffer that defers the tail nucleus's destination
+  RAT update (the WaR case) — modeled by simply not updating the RAT
+  for tail destinations until the tail ghost renames;
+* ``Inside NCS`` RAT bits that detect RaW dependencies between the
+  catalyst and the tail nucleus;
+* ``Deadlock Tag`` propagation that detects direct or transitive
+  dependence of the tail nucleus on the head nucleus;
+* the ``NCSF Serializing`` and ``NCSF StorePair`` bits.
+
+Physical register occupancy is modeled as free-counter accounting; the
+actual values live in the functional trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ProcessorConfig
+from repro.isa.registers import FP_REG_BASE
+from repro.pipeline.uop import FusionKind, PipeUop
+
+
+@dataclass
+class RenameStats:
+    renamed_uops: int = 0
+    ncsf_heads: int = 0
+    ncsf_validated: int = 0
+    raw_corrections: int = 0
+    unfused_deadlock: int = 0
+    unfused_serializing: int = 0
+    unfused_storepair: int = 0
+    unfused_nesting: int = 0
+
+
+class RenameUnit:
+    """Renames µ-ops in program order and validates NCSF'd pairs."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.config = config
+        self.free_int = config.int_prf_size - 32   # architectural mappings
+        self.free_fp = config.fp_prf_size - 32
+        self._writers: Dict[int, PipeUop] = {}
+        # Undo log for pipeline flushes: (squash_key_seq, reg, previous).
+        self._writer_log: List[Tuple[int, int, Optional[PipeUop]]] = []
+        # NCSF state.
+        self.active_ncs = 0
+        self.max_active_ncs = 0
+        self.inside_ncs: set = set()
+        self.deadlock_tags: Dict[int, int] = {}
+        self.ncsf_serializing = False
+        self.ncsf_storepair = False
+        self.stats = RenameStats()
+
+    # -- physical register accounting -----------------------------------------
+
+    @staticmethod
+    def _split_dests(dests) -> Tuple[int, int]:
+        ints = sum(1 for d in dests if d < FP_REG_BASE)
+        return ints, len(dests) - ints
+
+    def can_allocate(self, uop: PipeUop) -> bool:
+        return (self.free_int >= uop.n_int_dests
+                and self.free_fp >= uop.n_fp_dests)
+
+    def _allocate(self, dests) -> None:
+        ints, fps = self._split_dests(dests)
+        self.free_int -= ints
+        self.free_fp -= fps
+
+    def release(self, dests) -> None:
+        ints, fps = self._split_dests(dests)
+        self.free_int += ints
+        self.free_fp += fps
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _bind_sources(self, uop: PipeUop, sources) -> None:
+        writers = self._writers
+        producers = uop.producers
+        for reg in sources:
+            producer = writers.get(reg)
+            if producer is not None and (producer, reg) not in producers:
+                producers.append((producer, reg))
+
+    def _set_writer(self, reg: int, uop: PipeUop, squash_key: int) -> None:
+        self._writer_log.append((squash_key, reg, self._writers.get(reg)))
+        self._writers[reg] = uop
+
+    def _propagate_tags(self, sources, dests, extra_bits: int = 0) -> None:
+        tags = self.deadlock_tags
+        combined = extra_bits
+        for reg in sources:
+            combined |= tags.get(reg, 0)
+        for reg in dests:
+            if combined:
+                tags[reg] = combined
+            else:
+                tags.pop(reg, None)
+
+    def _end_nest_if_done(self) -> None:
+        if self.active_ncs == 0:
+            self.max_active_ncs = 0
+            self.inside_ncs.clear()
+            self.deadlock_tags.clear()
+            self.ncsf_serializing = False
+            self.ncsf_storepair = False
+
+    # -- main entry points ---------------------------------------------------
+
+    def rename(self, uop: PipeUop) -> None:
+        """Rename one non-ghost µ-op (possibly a pending NCSF head)."""
+        self.stats.renamed_uops += 1
+        head = uop.head
+        uop.producers = []
+
+        if uop.fusion is FusionKind.NCSF and uop.pending:
+            self._rename_ncsf_head(uop)
+            return
+
+        sources = list(head.srcs)
+        if uop.tail is not None:
+            # Consecutive fusion: tail sources resolve here too, minus
+            # any idiom-internal dependence on the head's destination.
+            for reg in uop.tail.srcs:
+                if reg != head.dest and reg not in sources:
+                    sources.append(reg)
+        if uop.is_store:
+            # Split STA/STD: the store issues (address generation) on
+            # its base register(s); data registers are captured when
+            # they arrive and gate only commit and forwarding.
+            address_regs = {head.inst.rs1}
+            if uop.tail is not None:
+                address_regs.add(uop.tail.inst.rs1)
+            address_regs.discard(None)
+            data_sources = [r for r in sources if r not in address_regs]
+            sources = [r for r in sources if r in address_regs]
+            self._bind_sources(uop, sources)
+            writers = self._writers
+            for reg in data_sources:
+                producer = writers.get(reg)
+                if producer is not None                         and (producer, reg) not in uop.late_producers:
+                    uop.late_producers.append((producer, reg))
+            sources = sources + data_sources  # for tag propagation below
+        else:
+            self._bind_sources(uop, sources)
+        self._allocate(uop.dests)
+        for reg in uop.dests:
+            self._set_writer(reg, uop, uop.seq)
+            if self.active_ncs > 0:
+                self.inside_ncs.add(reg)
+        self._propagate_tags(sources, uop.dests)
+
+        if self.max_active_ncs > 0:
+            if head.is_serializing or (uop.tail is not None
+                                       and uop.tail.is_serializing):
+                self.ncsf_serializing = True
+            if uop.is_store:
+                self.ncsf_storepair = True
+
+    def _rename_ncsf_head(self, uop: PipeUop) -> None:
+        """A pending NCSF'd µ-op enters Rename."""
+        head = uop.head
+        if self.max_active_ncs >= self.config.ncsf_nesting:
+            # Nesting saturated: behaves as unfused (Section IV-B2).
+            self.stats.unfused_nesting += 1
+            uop.unfuse("nesting")
+            self._bind_sources(uop, head.srcs)
+            self._allocate(uop.dests)
+            for reg in uop.dests:
+                self._set_writer(reg, uop, uop.seq)
+                if self.active_ncs > 0:
+                    self.inside_ncs.add(reg)
+            self._propagate_tags(head.srcs, uop.dests)
+            return
+
+    # The fused µ-op renames all its destinations now, but only the
+    # head's enter the RAT — the tail's stay in the side buffer until
+    # the tail nucleus renames (the WaR fix).
+        self.stats.ncsf_heads += 1
+        nest_bit = 1 << self.max_active_ncs
+        uop.nest_level = self.max_active_ncs
+        self.max_active_ncs += 1
+        self.active_ncs += 1
+        self._bind_sources(uop, head.srcs)
+        self._allocate(uop.dests)
+        head_dests = [d for d in uop.dests
+                      if head.dest is not None and d == head.dest]
+        for reg in head_dests:
+            self._set_writer(reg, uop, uop.seq)
+            self.inside_ncs.add(reg)
+        self._propagate_tags(head.srcs, head_dests, extra_bits=nest_bit)
+        if uop.is_store:
+            # The first head of a nest does not trip the StorePair bit,
+            # but a second (nested) store head does.
+            if self.active_ncs > 1:
+                self.ncsf_storepair = True
+
+    def rename_tail_ghost(self, ghost: PipeUop) -> str:
+        """The tail nucleus enters Rename: validate or flag for unfuse.
+
+        Returns one of ``"validated"``, ``"deadlock"``, ``"serializing"``,
+        ``"storepair"``.  The actual un/fusing bookkeeping is driven by
+        the core, which owns the queues.
+        """
+        head_uop = ghost.ghost_of
+        tail = ghost.head
+        outcome = "validated"
+
+        if self.ncsf_serializing:
+            self.stats.unfused_serializing += 1
+            outcome = "serializing"
+        elif head_uop.is_store and self.ncsf_storepair:
+            self.stats.unfused_storepair += 1
+            outcome = "storepair"
+        else:
+            nest_bit = 1 << head_uop.nest_level
+            for reg in tail.srcs:
+                if self.deadlock_tags.get(reg, 0) & nest_bit:
+                    self.stats.unfused_deadlock += 1
+                    outcome = "deadlock"
+                    break
+
+        if outcome == "validated":
+            if any(reg in self.inside_ncs for reg in tail.srcs):
+                # RaW between catalyst and tail: the IQ entry's source
+                # names are corrected in place at Dispatch (case 1).
+                self.stats.raw_corrections += 1
+                head_uop.raw_corrected = True
+            # Bind the tail's true producers (post-catalyst values).
+            # A tail store's *data* register does not gate issue — the
+            # fused store generates its address and captures the head
+            # data first, and the tail data is captured when it arrives
+            # (split STA/STD); it gates commit and tail-byte forwarding.
+            writers = self._writers
+            for reg in tail.srcs:
+                producer = writers.get(reg)
+                if producer is None or producer is head_uop:
+                    continue
+                if head_uop.is_store and reg == tail.inst.rs2                         and reg != tail.inst.rs1:
+                    head_uop.late_producers.append((producer, reg))
+                else:
+                    head_uop.extra_producers.append((producer, reg))
+            # Deferred destination rename leaves the side buffer and
+            # updates the RAT, in program order.
+            if tail.dest is not None and tail.dest != head_uop.head.dest:
+                self._set_writer(tail.dest, head_uop, tail.seq)
+                if self.active_ncs > 0:
+                    self.inside_ncs.add(tail.dest)
+            self.stats.ncsf_validated += 1
+
+        self.active_ncs -= 1
+        self._end_nest_if_done()
+        return outcome
+
+    def note_unfused_tail(self) -> None:
+        """A nest collapsed without its ghost validating (early unfuse)."""
+        self.active_ncs -= 1
+        self._end_nest_if_done()
+
+    # -- flush recovery ---------------------------------------------------------
+
+    def flush_from(self, seq: int) -> None:
+        """Squash every rename effect with squash key >= ``seq``."""
+        log = self._writer_log
+        while log and log[-1][0] >= seq:
+            _, reg, previous = log.pop()
+            if previous is None:
+                self._writers.pop(reg, None)
+            else:
+                self._writers[reg] = previous
+        # Any NCSF nest state is conservatively reset on a flush.
+        self.active_ncs = 0
+        self._end_nest_if_done()
+
+    def writer_of(self, reg: int) -> Optional[PipeUop]:
+        return self._writers.get(reg)

@@ -1,0 +1,36 @@
+"""Prediction structures.
+
+* :mod:`repro.predictors.branch` — tournament branch predictor that also
+  supplies the global history bits consumed by the fusion predictor's
+  gshare side.
+* :mod:`repro.predictors.storeset` — store-set memory dependence
+  predictor (Table II).
+* :mod:`repro.predictors.uch` — Unfused Committed History (Section IV-A1).
+* :mod:`repro.predictors.fusion_predictor` — the tournament Fusion
+  Predictor (Section IV-A2).
+* :mod:`repro.predictors.update_queue` — the post-commit decoupling
+  queue in front of the UCH.
+"""
+
+from repro.predictors.branch import BranchPredictor
+from repro.predictors.fp_variants import (
+    LocalHistoryFusionPredictor,
+    TageFusionPredictor,
+    make_fusion_predictor,
+)
+from repro.predictors.fusion_predictor import FusionPredictor, FusionPrediction
+from repro.predictors.storeset import StoreSetPredictor
+from repro.predictors.uch import UnfusedCommittedHistory
+from repro.predictors.update_queue import UCHUpdateQueue
+
+__all__ = [
+    "BranchPredictor",
+    "LocalHistoryFusionPredictor",
+    "TageFusionPredictor",
+    "make_fusion_predictor",
+    "FusionPredictor",
+    "FusionPrediction",
+    "StoreSetPredictor",
+    "UCHUpdateQueue",
+    "UnfusedCommittedHistory",
+]

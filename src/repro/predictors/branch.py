@@ -1,0 +1,86 @@
+"""Tournament branch predictor.
+
+A classic Alpha-21264-style tournament: a bimodal (local) side, a
+gshare (global) side, and a chooser table.  It stands in for the
+paper's L-TAGE — only the misprediction *rate* and the global history
+register (consumed by the fusion predictor's gshare side) matter to the
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchStats:
+    lookups: int = 0
+    mispredicts: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+    def mpki(self, instructions: int) -> float:
+        if not instructions:
+            return 0.0
+        return 1000.0 * self.mispredicts / instructions
+
+
+class BranchPredictor:
+    """Bimodal + gshare + chooser, with a global history register."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12):
+        self.table_size = 1 << table_bits
+        self.history_bits = history_bits
+        self._mask = self.table_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        # 2-bit saturating counters, initialized weakly taken.
+        self._bimodal = [2] * self.table_size
+        self._gshare = [2] * self.table_size
+        # Chooser: 0/1 prefer bimodal, 2/3 prefer gshare.
+        self._chooser = [2] * self.table_size
+        self.ghr = 0
+        self.stats = BranchStats()
+
+    def _indices(self, pc: int):
+        base = (pc >> 2) & self._mask
+        return base, (base ^ self.ghr) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        bi_index, gs_index = self._indices(pc)
+        if self._chooser[bi_index] >= 2:
+            return self._gshare[gs_index] >= 2
+        return self._bimodal[bi_index] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train with the resolved direction; returns mispredicted."""
+        bi_index, gs_index = self._indices(pc)
+        bimodal_pred = self._bimodal[bi_index] >= 2
+        gshare_pred = self._gshare[gs_index] >= 2
+        used_gshare = self._chooser[bi_index] >= 2
+        prediction = gshare_pred if used_gshare else bimodal_pred
+
+        self.stats.lookups += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.stats.mispredicts += 1
+
+        # Chooser trains only when the two sides disagree.
+        if bimodal_pred != gshare_pred:
+            if gshare_pred == taken:
+                self._chooser[bi_index] = min(3, self._chooser[bi_index] + 1)
+            else:
+                self._chooser[bi_index] = max(0, self._chooser[bi_index] - 1)
+
+        for table, index in ((self._bimodal, bi_index), (self._gshare, gs_index)):
+            if taken:
+                table[index] = min(3, table[index] + 1)
+            else:
+                table[index] = max(0, table[index] - 1)
+
+        self.ghr = ((self.ghr << 1) | int(taken)) & self._history_mask
+        return mispredicted

@@ -1,0 +1,74 @@
+"""Post-commit decoupling queue in front of the UCH (Section IV-A1).
+
+The UCH search/update is off the critical path: at most ``inserts_per_
+cycle`` committing memory µ-ops enter the queue each cycle; if it is
+full, µ-ops are simply dropped (they will get a chance to train later).
+The queue drains at ``drains_per_cycle`` (the number of UCH ports).
+The paper finds an 8-entry queue with a single search-and-update port
+loses no performance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+
+@dataclass(frozen=True)
+class _PendingTrain:
+    pc: int
+    addr: int
+    commit_number: int
+    ghr: int
+
+
+class UCHUpdateQueue:
+    """Bounded FIFO between Commit and one UCH instance."""
+
+    def __init__(self, capacity: int = 8, inserts_per_cycle: int = 4,
+                 drains_per_cycle: int = 1):
+        self.capacity = capacity
+        self.inserts_per_cycle = inserts_per_cycle
+        self.drains_per_cycle = drains_per_cycle
+        self._queue: Deque[_PendingTrain] = deque()
+        self._inserted_this_cycle = 0
+        self.dropped = 0
+        self.enqueued = 0
+
+    def begin_cycle(self) -> None:
+        self._inserted_this_cycle = 0
+
+    def push(self, pc: int, addr: int, commit_number: int, ghr: int) -> bool:
+        """Offer one committing µ-op; returns False when dropped."""
+        if (len(self._queue) >= self.capacity
+                or self._inserted_this_cycle >= self.inserts_per_cycle):
+            self.dropped += 1
+            return False
+        self._queue.append(_PendingTrain(pc, addr, commit_number, ghr))
+        self._inserted_this_cycle += 1
+        self.enqueued += 1
+        return True
+
+    def drain(self, observe: Callable[[int, int, int], Optional[object]],
+              train: Callable[[int, int, int], None]) -> int:
+        """Process up to ``drains_per_cycle`` entries.
+
+        ``observe(pc, addr, commit_number)`` is the UCH search/update;
+        when it returns a match, ``train(tail_pc, ghr, distance)``
+        updates the fusion predictor.
+        """
+        drained = 0
+        while self._queue and drained < self.drains_per_cycle:
+            pending = self._queue.popleft()
+            match = observe(pending.pc, pending.addr, pending.commit_number)
+            if match is not None:
+                train(pending.pc, pending.ghr, match.distance)
+            drained += 1
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def flush(self) -> None:
+        self._queue.clear()

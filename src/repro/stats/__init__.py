@@ -1,0 +1,7 @@
+"""Statistics helpers: aggregate math and report rendering."""
+
+from repro.stats.counters import amean, geomean, normalize, percent
+from repro.stats.report import ascii_bar_chart, ascii_table
+
+__all__ = ["amean", "ascii_bar_chart", "ascii_table", "geomean",
+           "normalize", "percent"]

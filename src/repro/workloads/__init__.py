@@ -1,0 +1,27 @@
+"""Workload catalog: stand-ins for the paper's SPEC CPU 2017 and
+MiBench applications.
+
+Each named workload is a small assembly kernel crafted to exhibit the
+fusion-relevant characteristics the paper reports for the application
+it stands in for (memory-pair density, non-consecutive pair distance,
+base-register behaviour, store-queue pressure, branchiness).  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.workloads.catalog import (
+    CATALOG,
+    WorkloadSpec,
+    build_program,
+    build_workload,
+    workload_names,
+)
+from repro.workloads.synthesis import synthesize_trace
+
+__all__ = [
+    "CATALOG",
+    "WorkloadSpec",
+    "build_program",
+    "build_workload",
+    "synthesize_trace",
+    "workload_names",
+]

@@ -1,0 +1,48 @@
+"""Parameterized assembly kernel builders.
+
+Every builder returns assembly text for :func:`repro.isa.assemble`.
+They are grouped by the dominant behaviour they model:
+
+* :mod:`repro.workloads.kernels.memory` — streaming stores, struct
+  walks, two-stream walks, block transforms (SQ pressure, CSF/NCSF
+  memory pairs).
+* :mod:`repro.workloads.kernels.pointer` — pointer chasing, hash
+  probing, event queues (irregular bases, DBR pairs, low coverage).
+* :mod:`repro.workloads.kernels.compute` — bit manipulation, FP
+  butterflies, byte scanning, sorting (non-memory idioms, asymmetric
+  pairs, branchy control).
+"""
+
+from repro.workloads.kernels.compute import (
+    bit_ops,
+    byte_scan,
+    fp_butterfly,
+    sort_partition,
+)
+from repro.workloads.kernels.memory import (
+    block_transform,
+    streaming_stores,
+    struct_walk,
+    two_stream_walk,
+)
+from repro.workloads.kernels.pointer import (
+    event_queue,
+    hash_probe,
+    pointer_chase,
+    table_mix,
+)
+
+__all__ = [
+    "bit_ops",
+    "block_transform",
+    "byte_scan",
+    "event_queue",
+    "fp_butterfly",
+    "hash_probe",
+    "pointer_chase",
+    "sort_partition",
+    "streaming_stores",
+    "struct_walk",
+    "table_mix",
+    "two_stream_walk",
+]

@@ -1,0 +1,78 @@
+"""Fully synthetic trace generation.
+
+A second workload modality that manufactures a dynamic µ-op stream
+directly — no assembly or interpretation — with closed-form control
+over the properties the fusion machinery cares about: memory fraction,
+pair density, pair distance, and base-register behaviour.  Used by
+stress tests and predictor microbenchmarks where a *known* ground
+truth matters more than realism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction, opclass_for
+from repro.isa.program import CODE_BASE
+from repro.isa.trace import MicroOp, Trace
+
+_DATA_BASE = 0x50_0000
+
+
+def synthesize_trace(length: int = 10_000,
+                     memory_fraction: float = 0.35,
+                     pair_fraction: float = 0.5,
+                     pair_distance: int = 4,
+                     footprint_kb: int = 64,
+                     seed: int = 1,
+                     name: str = "synthetic") -> Trace:
+    """Generate a synthetic trace.
+
+    ``pair_fraction`` of the memory µ-ops are emitted as same-line
+    (head, tail) pairs separated by ``pair_distance`` filler ALU µ-ops;
+    the rest access independent pseudo-random lines.
+    """
+    rng = random.Random(seed)
+    mask = footprint_kb * 1024 - 1
+    uops: List[MicroOp] = []
+    static_cache = {}
+
+    def static(mnemonic: str, rd: Optional[int], rs1: Optional[int],
+               rs2: Optional[int], imm: int, pc_slot: int) -> Instruction:
+        key = (mnemonic, rd, rs1, rs2, imm, pc_slot)
+        inst = static_cache.get(key)
+        if inst is None:
+            inst = Instruction(
+                mnemonic=mnemonic, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                opclass=opclass_for(mnemonic),
+                mem_size=8 if mnemonic in ("ld", "sd") else 0,
+                pc=CODE_BASE + 4 * pc_slot)
+            static_cache[key] = inst
+        return inst
+
+    def emit(inst: Instruction, addr: int = 0) -> None:
+        uops.append(MicroOp(len(uops), inst, addr=addr))
+
+    def emit_alu(slot: int) -> None:
+        rd = 5 + slot % 8
+        emit(static("add", rd, rd, 6 + slot % 7, 0, slot))
+
+    pc_slot = 0
+    while len(uops) < length:
+        pc_slot += 1
+        if rng.random() < memory_fraction:
+            line = (_DATA_BASE + (rng.randrange(mask) & ~63)) & ~63
+            if rng.random() < pair_fraction:
+                # A same-line pair separated by filler ALU µ-ops.
+                emit(static("ld", 10, 11, None, 0, pc_slot), addr=line)
+                for k in range(pair_distance - 1):
+                    emit_alu(pc_slot * 31 + k)
+                emit(static("ld", 12, 11, None, 8, pc_slot + 500),
+                     addr=line + 8)
+            else:
+                emit(static("ld", 13, 14, None, 0, pc_slot + 1000),
+                     addr=line + rng.randrange(0, 56, 8))
+        else:
+            emit_alu(pc_slot)
+    return Trace(uops[:length], name=name)

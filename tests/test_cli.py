@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "657.xz_1" in out
+    assert "MiBench" in out
+
+
+def test_simulate_all_modes(capsys):
+    assert main(["simulate", "bitcount"]) == 0
+    out = capsys.readouterr().out
+    assert "NoFusion" in out
+    assert "Helios" in out
+    assert "vs base" in out
+
+
+def test_simulate_single_mode(capsys):
+    assert main(["simulate", "bitcount", "--mode", "Helios"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "coverage" in out
+
+
+def test_simulate_with_fp_kind(capsys):
+    assert main(["simulate", "bitcount", "--mode", "Helios",
+                 "--fp-kind", "tage"]) == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_simulate_unknown_workload():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["simulate", "not-a-workload"])
+
+
+def test_simulate_unknown_mode():
+    with pytest.raises(SystemExit, match="unknown mode"):
+        main(["simulate", "bitcount", "--mode", "Banana"])
+
+
+def test_experiment_table2(capsys):
+    assert main(["experiment", "table2"]) == 0
+    assert "Table II" in capsys.readouterr().out
+
+
+def test_experiment_with_subset(capsys):
+    assert main(["experiment", "fig2", "--workloads", "bitcount"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "bitcount" in out
+
+
+def test_experiment_unknown():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["experiment", "fig99"])
+
+
+def test_experiment_unknown_workload():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["experiment", "fig2", "--workloads", "nope"])
+
+
+def test_storage_report(capsys):
+    assert main(["storage"]) == 0
+    out = capsys.readouterr().out
+    assert "fusion_predictor" in out
+    assert "grand total" in out

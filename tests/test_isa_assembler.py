@@ -1,0 +1,182 @@
+"""Tests for the mini RV64 assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, OpClass, assemble
+from repro.isa.program import CODE_BASE
+from repro.isa.registers import reg_index
+
+
+def test_basic_alu_encoding():
+    program = assemble("add x5, x6, x7")
+    inst = program[0]
+    assert inst.mnemonic == "add"
+    assert (inst.rd, inst.rs1, inst.rs2) == (5, 6, 7)
+    assert inst.opclass is OpClass.INT_ALU
+
+
+def test_abi_register_names():
+    program = assemble("add a0, sp, t0")
+    inst = program[0]
+    assert inst.rd == reg_index("x10")
+    assert inst.rs1 == reg_index("x2")
+    assert inst.rs2 == reg_index("x5")
+
+
+def test_immediate_forms():
+    program = assemble("addi x1, x2, -42\naddi x3, x4, 0x10")
+    assert program[0].imm == -42
+    assert program[1].imm == 16
+
+
+def test_load_store_operands():
+    program = assemble("ld x1, 16(x2)\nsd x3, -8(x4)")
+    load, store = program[0], program[1]
+    assert load.opclass is OpClass.LOAD
+    assert (load.rd, load.rs1, load.imm, load.mem_size) == (1, 2, 16, 8)
+    assert store.opclass is OpClass.STORE
+    assert (store.rs2, store.rs1, store.imm, store.mem_size) == (3, 4, -8, 8)
+
+
+@pytest.mark.parametrize("mnemonic,size", [
+    ("lb", 1), ("lbu", 1), ("lh", 2), ("lhu", 2),
+    ("lw", 4), ("lwu", 4), ("ld", 8), ("fld", 8), ("flw", 4),
+])
+def test_load_sizes(mnemonic, size):
+    reg = "f1" if mnemonic.startswith("f") else "x1"
+    program = assemble("%s %s, 0(x2)" % (mnemonic, reg))
+    assert program[0].mem_size == size
+
+
+def test_label_resolution():
+    program = assemble("""
+    top:
+        addi x1, x1, 1
+        bne x1, x2, top
+        jal x0, done
+        nop
+    done:
+        ecall
+    """)
+    assert program.labels["top"] == 0
+    branch = program[1]
+    assert branch.target == 0
+    jump = program[2]
+    assert jump.target == 4
+
+
+def test_label_on_same_line_as_instruction():
+    program = assemble("loop: addi x1, x1, 1\nbne x1, x2, loop")
+    assert program.labels["loop"] == 0
+    assert program[1].target == 0
+
+
+def test_li_small_expands_to_addi():
+    program = assemble("li x5, 100")
+    assert len(program) == 1
+    assert program[0].mnemonic == "addi"
+    assert program[0].imm == 100
+
+
+def test_li_32bit_expands_to_lui_addiw():
+    program = assemble("li x5, 0x12345678")
+    assert [inst.mnemonic for inst in program] == ["lui", "addiw"]
+
+
+def test_li_64bit_expands_to_chain():
+    program = assemble("li x5, 0x123456789abcdef0")
+    mnemonics = [inst.mnemonic for inst in program]
+    assert "slli" in mnemonics
+    assert len(program) >= 3
+
+
+def test_pseudo_mv_and_branch_zero():
+    program = assemble("mv x1, x2\nbeqz x3, 0x10000\nbnez x4, 0x10000")
+    assert program[0].mnemonic == "addi"
+    assert program[1].mnemonic == "beq"
+    assert program[1].rs2 == 0
+    assert program[2].mnemonic == "bne"
+
+
+def test_pseudo_ret_and_j():
+    program = assemble("j out\nout: ret")
+    assert program[0].mnemonic == "jal"
+    assert program[0].rd == 0
+    assert program[1].mnemonic == "jalr"
+    assert program[1].rs1 == reg_index("ra")
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+    # full-line comment
+    add x1, x2, x3  # trailing comment
+    ; alt comment style
+    nop
+    """)
+    assert len(program) == 2
+
+
+def test_data_directives():
+    program = assemble("""
+    nop
+    .data 0x20000
+    .dword 1, 2
+    .word 0xdeadbeef
+    .zero 4
+    .byte 0xff
+    """)
+    segment = program.data_segments[0x20000]
+    assert segment[:8] == (1).to_bytes(8, "little")
+    assert segment[8:16] == (2).to_bytes(8, "little")
+    assert segment[16:20] == (0xDEADBEEF).to_bytes(4, "little")
+    assert segment[20:24] == bytes(4)
+    assert segment[24] == 0xFF
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError, match="duplicate"):
+        assemble("a:\nnop\na:\nnop")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError, match="unknown mnemonic"):
+        assemble("frobnicate x1, x2")
+
+
+def test_unknown_register_rejected():
+    with pytest.raises(AssemblyError, match="unknown register"):
+        assemble("add x1, x2, x99")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(AssemblyError, match="unknown label"):
+        assemble("beq x1, x2, nowhere")
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(AssemblyError, match="expects"):
+        assemble("add x1, x2")
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblyError, match="empty"):
+        assemble("# nothing here")
+
+
+def test_pc_assignment():
+    program = assemble("nop\nnop\nnop")
+    assert [inst.pc for inst in program] == [CODE_BASE, CODE_BASE + 4, CODE_BASE + 8]
+    assert program.pc_of(2) == CODE_BASE + 8
+    assert program.index_of_pc(CODE_BASE + 4) == 1
+
+
+def test_listing_contains_labels_and_pcs():
+    program = assemble("start:\nadd x1, x2, x3")
+    listing = program.listing()
+    assert "start:" in listing
+    assert "add" in listing
+
+
+def test_mem_operand_without_offset():
+    program = assemble("ld x1, (x2)")
+    assert program[0].imm == 0

@@ -1,0 +1,297 @@
+"""Tests for the functional interpreter."""
+
+import pytest
+
+from repro.isa import Interpreter, assemble, run_program
+from repro.isa.interp import Memory, _signed
+from repro.isa.registers import reg_index
+
+
+def run_and_regs(source, max_uops=100_000):
+    interp = Interpreter(assemble(source), max_uops=max_uops)
+    interp.run()
+    return interp
+
+
+def reg(interp, name):
+    return interp.regs[reg_index(name)]
+
+
+def test_arithmetic_basics():
+    interp = run_and_regs("""
+        li x1, 7
+        li x2, 5
+        add x3, x1, x2
+        sub x4, x1, x2
+        mul x5, x1, x2
+        div x6, x1, x2
+        rem x7, x1, x2
+        ecall
+    """)
+    assert reg(interp, "x3") == 12
+    assert reg(interp, "x4") == 2
+    assert reg(interp, "x5") == 35
+    assert reg(interp, "x6") == 1
+    assert reg(interp, "x7") == 2
+
+
+def test_64bit_wraparound():
+    interp = run_and_regs("""
+        li x1, -1
+        addi x2, x1, 1
+        ecall
+    """)
+    assert reg(interp, "x1") == (1 << 64) - 1
+    assert reg(interp, "x2") == 0
+
+
+def test_signed_comparison_branches():
+    interp = run_and_regs("""
+        li x1, -5
+        li x2, 3
+        li x3, 0
+        bge x1, x2, skip
+        li x3, 1
+    skip:
+        ecall
+    """)
+    assert reg(interp, "x3") == 1
+
+
+def test_unsigned_comparison_branches():
+    # -5 as unsigned is huge, so bltu is NOT taken.
+    interp = run_and_regs("""
+        li x1, -5
+        li x2, 3
+        li x3, 0
+        bltu x1, x2, skip
+        li x3, 1
+    skip:
+        ecall
+    """)
+    assert reg(interp, "x3") == 1
+
+
+def test_word_ops_sign_extend():
+    interp = run_and_regs("""
+        li x1, 0x7fffffff
+        addiw x2, x1, 1
+        ecall
+    """)
+    assert _signed(reg(interp, "x2")) == -(1 << 31)
+
+
+def test_shifts():
+    interp = run_and_regs("""
+        li x1, -8
+        srai x2, x1, 1
+        srli x3, x1, 60
+        slli x4, x1, 1
+        ecall
+    """)
+    assert _signed(reg(interp, "x2")) == -4
+    assert reg(interp, "x3") == 0xF
+    assert _signed(reg(interp, "x4")) == -16
+
+
+def test_divide_by_zero_semantics():
+    interp = run_and_regs("""
+        li x1, 42
+        li x2, 0
+        div x3, x1, x2
+        rem x4, x1, x2
+        ecall
+    """)
+    assert reg(interp, "x3") == (1 << 64) - 1  # -1
+    assert reg(interp, "x4") == 42
+
+
+def test_load_store_roundtrip_all_sizes():
+    interp = run_and_regs("""
+        li x1, 0x30000
+        li x2, -2
+        sd x2, 0(x1)
+        ld x3, 0(x1)
+        lw x4, 0(x1)
+        lwu x5, 0(x1)
+        lh x6, 0(x1)
+        lhu x7, 0(x1)
+        lb x8, 0(x1)
+        lbu x9, 0(x1)
+        ecall
+    """)
+    assert reg(interp, "x3") == (1 << 64) - 2
+    assert _signed(reg(interp, "x4")) == -2
+    assert reg(interp, "x5") == 0xFFFFFFFE
+    assert _signed(reg(interp, "x6")) == -2
+    assert reg(interp, "x7") == 0xFFFE
+    assert _signed(reg(interp, "x8")) == -2
+    assert reg(interp, "x9") == 0xFE
+
+
+def test_store_byte_isolated():
+    interp = run_and_regs("""
+        li x1, 0x30000
+        li x2, -1
+        sd x2, 0(x1)
+        li x3, 0
+        sb x3, 3(x1)
+        ld x4, 0(x1)
+        ecall
+    """)
+    assert reg(interp, "x4") == 0xFFFFFFFF00FFFFFF
+
+
+def test_data_segment_preloaded():
+    interp = run_and_regs("""
+        li x1, 0x20000
+        ld x2, 0(x1)
+        lw x3, 8(x1)
+        ecall
+    .data 0x20000
+        .dword 0x1122334455667788
+        .word 99
+    """)
+    assert reg(interp, "x2") == 0x1122334455667788
+    assert reg(interp, "x3") == 99
+
+
+def test_x0_is_hardwired_zero():
+    interp = run_and_regs("""
+        li x1, 5
+        add x0, x1, x1
+        add x2, x0, x0
+        ecall
+    """)
+    assert reg(interp, "x0") == 0
+    assert reg(interp, "x2") == 0
+
+
+def test_loop_trip_count():
+    interp = Interpreter(assemble("""
+        li x1, 100
+        li x2, 0
+    loop:
+        addi x2, x2, 1
+        addi x1, x1, -1
+        bnez x1, loop
+        ecall
+    """))
+    trace = interp.run()
+    assert reg(interp, "x2") == 100
+    branches = [u for u in trace if u.is_branch]
+    assert len(branches) == 100
+    assert sum(u.taken for u in branches) == 99
+
+
+def test_function_call_and_return():
+    interp = run_and_regs("""
+        li a0, 10
+        jal ra, double
+        mv s0, a0
+        ecall
+    double:
+        add a0, a0, a0
+        ret
+    """)
+    assert reg(interp, "s0") == 20
+
+
+def test_jalr_to_zero_halts():
+    # With ra = 0 (initial), `ret` acts as the halt convention.
+    interp = run_and_regs("li x5, 3\nret\nli x5, 99")
+    assert reg(interp, "x5") == 3
+    assert interp.halted
+
+
+def test_max_uops_cap():
+    trace = run_program(assemble("loop: j loop"), max_uops=50)
+    assert len(trace) == 50
+
+
+def test_trace_memory_uop_fields():
+    trace = run_program(assemble("""
+        li x1, 0x20000
+        ld x2, 8(x1)
+        sd x2, 24(x1)
+        ecall
+    """))
+    load = next(u for u in trace if u.is_load)
+    store = next(u for u in trace if u.is_store)
+    assert load.addr == 0x20008
+    assert load.base_reg == 1
+    assert load.offset == 8
+    assert load.end_addr == 0x20010
+    assert store.addr == 0x20018
+    assert load.line() == 0x20000 // 64
+
+
+def test_fp_roundtrip():
+    interp = run_and_regs("""
+        li x1, 3
+        li x2, 4
+        fcvt.d.l f1, x1
+        fcvt.d.l f2, x2
+        fadd.d f3, f1, f2
+        fmul.d f4, f1, f2
+        fcvt.l.d x3, f3
+        fcvt.l.d x4, f4
+        flt.d x5, f1, f2
+        ecall
+    """)
+    assert reg(interp, "x3") == 7
+    assert reg(interp, "x4") == 12
+    assert reg(interp, "x5") == 1
+
+
+def test_fp_memory():
+    interp = run_and_regs("""
+        li x1, 5
+        fcvt.d.l f1, x1
+        li x2, 0x30000
+        fsd f1, 0(x2)
+        fld f2, 0(x2)
+        fcvt.l.d x3, f2
+        ecall
+    """)
+    assert reg(interp, "x3") == 5
+
+
+def test_memory_cross_page_access():
+    memory = Memory()
+    addr = 4096 - 3  # crosses the first page boundary
+    memory.write(addr, 0x1122334455667788, 8)
+    assert memory.read(addr, 8) == 0x1122334455667788
+    assert memory.read(addr + 4, 4) == 0x11223344
+
+
+def test_memory_default_zero():
+    memory = Memory()
+    assert memory.read(0x5000, 8) == 0
+
+
+def test_lui_auipc():
+    interp = run_and_regs("""
+        lui x1, 0x12345
+        auipc x2, 0
+        ecall
+    """)
+    assert reg(interp, "x1") == 0x12345000
+    assert reg(interp, "x2") == 0x10004  # pc of the auipc itself
+
+
+def test_mulh_variants():
+    interp = run_and_regs("""
+        li x1, -1
+        li x2, -1
+        mulh x3, x1, x2
+        mulhu x4, x1, x2
+        ecall
+    """)
+    assert reg(interp, "x3") == 0  # (-1 * -1) >> 64
+    assert reg(interp, "x4") == (1 << 64) - 2  # (2^64-1)^2 >> 64
+
+
+def test_serializing_uops_in_trace():
+    trace = run_program(assemble("nop\nfence\necall"))
+    assert [u.is_serializing for u in trace] == [False, True, True]

@@ -1,0 +1,67 @@
+"""Tests for the Trace/Program helper surface."""
+
+from repro.isa import OpClass, assemble, run_program
+from repro.isa.trace import footprint
+
+SOURCE = """
+    li a0, 0x20000
+    li a1, 4
+loop:
+    ld a2, 0(a0)
+    sd a2, 4096(a0)
+    addi a0, a0, 64
+    addi a1, a1, -1
+    bnez a1, loop
+    ecall
+"""
+
+
+def make_trace():
+    return run_program(assemble(SOURCE, name="helpers"))
+
+
+def test_opclass_counts():
+    trace = make_trace()
+    counts = trace.opclass_counts()
+    assert counts[OpClass.LOAD] == 4
+    assert counts[OpClass.STORE] == 4
+    assert counts[OpClass.BRANCH] == 4
+    assert sum(counts.values()) == len(trace)
+
+
+def test_memory_fraction_and_counts():
+    trace = make_trace()
+    assert trace.num_memory == trace.num_loads + trace.num_stores
+    assert trace.memory_fraction() == trace.num_memory / len(trace)
+
+
+def test_trace_slice_keeps_sequence_numbers():
+    trace = make_trace()
+    window = trace.slice(3, 8)
+    assert len(window) == 5
+    assert window[0].seq == 3
+    assert "[3:8]" in window.name
+
+
+def test_footprint_counts_distinct_lines():
+    trace = make_trace()
+    # 4 iterations x (one load line + one store line 4 KiB away),
+    # strided by a full line each iteration: 8 distinct lines.
+    assert footprint(list(trace)) == 8
+
+
+def test_program_static_mix_and_listing():
+    program = assemble(SOURCE)
+    mix = program.static_mix()
+    assert mix["LOAD"] == 1
+    assert mix["STORE"] == 1
+    listing = program.listing()
+    assert "loop:" in listing
+    assert "ld" in listing
+
+
+def test_empty_trace_metrics():
+    from repro.isa.trace import Trace
+    trace = Trace([], name="empty")
+    assert trace.memory_fraction() == 0.0
+    assert trace.num_memory == 0

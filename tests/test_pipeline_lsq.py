@@ -1,0 +1,183 @@
+"""White-box tests for the load/store unit (LQ/SQ, STLF, violations)."""
+
+from repro.isa import assemble, run_program
+from repro.pipeline.lsq import LoadBlock, LoadStoreUnit, LSQEntry
+from repro.pipeline.uop import PipeUop
+
+
+def uops_for(source):
+    return [PipeUop(mo) for mo in run_program(assemble(source))]
+
+
+def never_depends(_pc):
+    return False
+
+
+def always_depends(_pc):
+    return True
+
+
+def make_unit():
+    return LoadStoreUnit(lq_size=8, sq_size=8)
+
+
+def mem_uops(addr_pairs):
+    """Build store/load PipeUops at specific addresses via a program."""
+    lines = ["li x1, 0x20000"]
+    for kind, off in addr_pairs:
+        if kind == "st":
+            lines.append("sd x2, %d(x1)" % off)
+        else:
+            lines.append("ld x3, %d(x1)" % off)
+    lines.append("ecall")
+    return [u for u in uops_for("\n".join(lines)) if u.is_memory]
+
+
+def test_lq_sq_occupancy():
+    unit = LoadStoreUnit(lq_size=1, sq_size=1)
+    store, load = mem_uops([("st", 0), ("ld", 64)])
+    unit.allocate(store)
+    unit.allocate(load)
+    assert unit.sq_full() and unit.lq_full()
+    unit.squash_from(0)
+    assert not unit.sq_full() and not unit.lq_full()
+
+
+def test_load_speculates_past_unresolved_store_without_dependence():
+    unit = make_unit()
+    store, load = mem_uops([("st", 0), ("ld", 0)])
+    unit.allocate(store)
+    entry = unit.allocate(load)
+    block, _ = unit.check_load(entry, never_depends)
+    assert block is LoadBlock.NONE  # free to speculate
+
+
+def test_load_waits_when_storeset_predicts_dependence():
+    unit = make_unit()
+    store, load = mem_uops([("st", 0), ("ld", 0)])
+    unit.allocate(store)
+    entry = unit.allocate(load)
+    block, blocking = unit.check_load(entry, always_depends)
+    assert block is LoadBlock.WAIT_STORE_ADDR
+    assert blocking.uop is store
+
+
+def test_full_forward_after_store_executes():
+    unit = make_unit()
+    store, load = mem_uops([("st", 0), ("ld", 0)])
+    store_entry = unit.allocate(store)
+    entry = unit.allocate(load)
+    store_entry.addr_known = True
+    # Address known but data not yet captured: wait for data.
+    store.complete_c = None
+    block, _ = unit.check_load(entry, never_depends)
+    assert block is LoadBlock.WAIT_STORE_DATA
+    store.complete_c = 10
+    block, source = unit.check_load(entry, never_depends)
+    assert block is LoadBlock.FORWARD
+    assert source.uop is store
+    assert unit.forwards == 1
+
+
+def test_partial_overlap_waits_for_drain():
+    unit = make_unit()
+    store, load = mem_uops([("st", 4), ("ld", 0)])  # store covers 4..12
+    store_entry = unit.allocate(store)
+    store_entry.addr_known = True
+    store.complete_c = 5
+    entry = unit.allocate(load)  # loads 0..8: half from the store
+    block, _ = unit.check_load(entry, never_depends)
+    assert block is LoadBlock.WAIT_STORE_DRAIN
+
+
+def test_disjoint_store_ignored():
+    unit = make_unit()
+    store, load = mem_uops([("st", 0), ("ld", 64)])
+    store_entry = unit.allocate(store)
+    store_entry.addr_known = True
+    store.complete_c = 3
+    entry = unit.allocate(load)
+    block, _ = unit.check_load(entry, never_depends)
+    assert block is LoadBlock.NONE
+
+
+def test_younger_store_never_blocks_load():
+    unit = make_unit()
+    load, store = mem_uops([("ld", 0), ("st", 0)])
+    entry = unit.allocate(load)
+    unit.allocate(store)
+    block, _ = unit.check_load(entry, always_depends)
+    assert block is LoadBlock.NONE
+
+
+def test_violation_detection_on_store_resolve():
+    unit = make_unit()
+    load, store = mem_uops([("ld", 0), ("st", 0)])
+    # Wrong order: the *older* op here is the load; rebuild with store
+    # older than load.
+    unit = make_unit()
+    store, load = mem_uops([("st", 0), ("ld", 0)])
+    store_entry = unit.allocate(store)
+    load_entry = unit.allocate(load)
+    # The load issued speculatively before the store resolved.
+    load.issue_c = 5
+    load.complete_c = 10
+    victims = unit.find_violations(store_entry)
+    assert [v.uop for v in victims] == [load]
+    assert unit.violations == 1
+
+
+def test_no_violation_when_load_older():
+    unit = make_unit()
+    load, store = mem_uops([("ld", 0), ("st", 0)])
+    load_entry = unit.allocate(load)
+    store_entry = unit.allocate(store)
+    load.issue_c = 5
+    load.complete_c = 10
+    assert unit.find_violations(store_entry) == []
+
+
+def test_no_violation_for_unissued_load():
+    unit = make_unit()
+    store, load = mem_uops([("st", 0), ("ld", 0)])
+    store_entry = unit.allocate(store)
+    unit.allocate(load)
+    assert unit.find_violations(store_entry) == []
+
+
+def test_fused_entry_subs_and_drop_tail():
+    uops = uops_for("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x5, 8(x1)
+        ecall
+    """)
+    head, tail = [u for u in uops if u.is_memory]
+    head.fuse_ncsf(tail.head, "load_pair")
+    entry = LSQEntry(head)
+    assert len(entry.subs) == 2
+    assert entry.subs[1].seq == tail.seq
+    entry.drop_tail()
+    assert len(entry.subs) == 1
+
+
+def test_fused_load_tail_bytes_order_against_catalyst_store():
+    """The tail sub-access must respect a store between the nucleii."""
+    uops = uops_for("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        sd x6, 32(x1)
+        ld x5, 32(x1)
+        ecall
+    """)
+    head, store, tail = [u for u in uops if u.is_memory]
+    head.fuse_ncsf(tail.head, "load_pair")
+    unit = make_unit()
+    pair_entry = unit.allocate(head)
+    unit.allocate(store)
+    # The store (younger than the head, older than the tail) is
+    # unresolved; with a store-set dependence the pair must wait even
+    # though the *head's* bytes are unaffected.
+    block, blocking = unit.check_load(pair_entry, always_depends)
+    assert block is LoadBlock.WAIT_STORE_ADDR
+    assert blocking.uop is store

@@ -1,0 +1,124 @@
+"""Property-based stress tests of the pipeline's global invariants.
+
+The invariants that must hold for *any* program and *any* fusion mode:
+
+1. every dynamic instruction commits exactly once;
+2. committed µ-ops + fused pairs account for all instructions;
+3. simulation is deterministic;
+4. fused pairs never include a serializing µ-op and store pairs never
+   span another store (checked via the oracle census, which the
+   pipeline may only under-approximate).
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro import FusionMode, ProcessorConfig, simulate
+from repro.isa import assemble, run_program
+
+SCRATCH = 0x20000
+
+
+@st.composite
+def stressful_programs(draw):
+    """Random programs mixing widths, fences, branches, and calls."""
+    blocks = []
+    n = draw(st.integers(2, 6))
+    for index in range(n):
+        kind = draw(st.sampled_from(
+            ["pair", "gap_pair", "bytes", "store_burst", "fence",
+             "branchy", "alu", "call"]))
+        if kind == "pair":
+            off = draw(st.integers(0, 10)) * 8
+            blocks += ["ld a2, %d(a0)" % off, "ld a3, %d(a0)" % (off + 8)]
+        elif kind == "gap_pair":
+            off = draw(st.integers(0, 6)) * 8
+            blocks += ["ld a2, %d(a0)" % off,
+                       "add s1, s1, a2",
+                       "ld a3, %d(a0)" % (off + 16)]
+        elif kind == "bytes":
+            blocks += ["lbu a4, 1(a0)", "lhu a5, 2(a0)", "lwu a6, 4(a0)"]
+        elif kind == "store_burst":
+            for i in range(draw(st.integers(2, 4))):
+                blocks.append("sd s1, %d(a0)" % (256 + 8 * i))
+        elif kind == "fence":
+            blocks.append("fence")
+        elif kind == "branchy":
+            label = "skip%d" % index
+            blocks += ["andi t0, a1, %d" % draw(st.sampled_from([1, 3])),
+                       "beqz t0, %s" % label,
+                       "addi s2, s2, 1",
+                       "%s:" % label]
+        elif kind == "alu":
+            blocks += ["mulh t1, s1, s2", "mul t2, s1, s2",
+                       "slli t3, s1, 32", "srli t3, t3, 32"]
+        else:  # call
+            blocks.append("jal ra, helper%d" % index)
+    body = "\n        ".join(blocks)
+    helpers = "\n".join(
+        "helper%d:\n        addi s3, s3, %d\n        ret" % (i, i + 1)
+        for i in range(n))
+    return """
+        li a0, %d
+        li a1, %d
+    loop:
+        %s
+        addi a0, a0, 24
+        andi a0, a0, 0x1fff
+        li t6, %d
+        add a0, a0, t6
+        addi a1, a1, -1
+        bnez a1, loop
+        ecall
+    %s
+    """ % (SCRATCH, draw(st.integers(3, 12)), body, SCRATCH, helpers)
+
+
+@settings(max_examples=12, deadline=None)
+@given(stressful_programs(),
+       st.sampled_from([FusionMode.HELIOS, FusionMode.ORACLE,
+                        FusionMode.RISCV_PP]))
+def test_everything_commits_once(source, mode):
+    trace = run_program(assemble(source))
+    result = simulate(trace, ProcessorConfig().with_mode(mode))
+    assert result.instructions == len(trace)
+    assert result.stats.uops_committed \
+        == len(trace) - result.stats.fused_pairs
+
+
+@settings(max_examples=6, deadline=None)
+@given(stressful_programs())
+def test_simulation_deterministic(source):
+    trace = run_program(assemble(source))
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    first = simulate(trace, config)
+    second = simulate(trace, config)
+    assert first.cycles == second.cycles
+    assert first.stats.fused_pairs == second.stats.fused_pairs
+    assert first.stats.fp_address_mispredictions \
+        == second.stats.fp_address_mispredictions
+
+
+@settings(max_examples=8, deadline=None)
+@given(stressful_programs(), st.integers(0, 2))
+def test_starved_configs_never_hang(source, squeeze):
+    """Shrunken structures (still > max fusion distance) must drain."""
+    config = dataclasses.replace(
+        ProcessorConfig(),
+        rob_size=96 - 8 * squeeze, iq_size=80 - 4 * squeeze,
+        lq_size=70, sq_size=66, int_prf_size=128, fp_prf_size=64,
+        rename_width=2, dispatch_width=2, fetch_width=4, decode_width=4)
+    trace = run_program(assemble(source))
+    result = simulate(trace, config.with_mode(FusionMode.HELIOS))
+    assert result.instructions == len(trace)
+
+
+@settings(max_examples=8, deadline=None)
+@given(stressful_programs())
+def test_fused_pair_count_bounded_by_oracle_potential(source):
+    """The pipeline cannot fuse more memory pairs than exist."""
+    trace = run_program(assemble(source))
+    result = simulate(trace, ProcessorConfig().with_mode(FusionMode.ORACLE))
+    pairs = result.stats.csf_memory_pairs + result.stats.ncsf_memory_pairs
+    assert 2 * pairs <= trace.num_memory
