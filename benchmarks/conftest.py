@@ -6,13 +6,18 @@ subset of the catalog so the whole suite finishes in a few minutes;
 set ``REPRO_BENCH_WORKLOADS=all`` to sweep all 32 workloads (as the
 EXPERIMENTS.md numbers were produced), or pass a comma-separated list
 of names.
+
+The sweeps run through the persistent result cache (see README):
+repeated benchmark runs are served from ``~/.cache/repro`` (or
+``$REPRO_CACHE_DIR``); run ``python -m repro cache clear`` or set
+``REPRO_NO_CACHE=1`` to time cold simulations.
 """
 
 import os
 
 import pytest
 
-from repro.workloads import workload_names
+from repro.workloads import ensure_known, workload_names
 
 #: Representative subset: store-bound, struct-walk, pointer-chase,
 #: Others-dominated, DBR, branchy, and crypto-table behaviours.
@@ -24,12 +29,19 @@ DEFAULT_SUBSET = [
 
 
 def bench_workloads():
-    """The workload list benchmarks run on (env-var overridable)."""
+    """The workload list benchmarks run on (env-var overridable).
+
+    Names are validated against the catalog up front so a typo in
+    ``REPRO_BENCH_WORKLOADS`` fails with the catalog listing instead
+    of an opaque ``KeyError`` deep inside ``build_workload``.
+    """
     selection = os.environ.get("REPRO_BENCH_WORKLOADS", "")
     if selection.lower() == "all":
         return workload_names()
     if selection:
-        return [name.strip() for name in selection.split(",") if name.strip()]
+        names = [name.strip() for name in selection.split(",")
+                 if name.strip()]
+        return ensure_known(names)
     return list(DEFAULT_SUBSET)
 
 

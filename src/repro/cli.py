@@ -5,7 +5,9 @@
     python -m repro workloads                 # list the catalog
     python -m repro simulate dijkstra         # all six configurations
     python -m repro simulate 657.xz_1 --mode Helios --fp-kind tage
-    python -m repro experiment fig10 --workloads 657.xz_1,605.mcf
+    python -m repro experiment fig10 --workloads 657.xz_1,605.mcf --jobs 4
+    python -m repro cache                     # inspect the result cache
+    python -m repro cache clear               # drop every cached result
     python -m repro storage                   # Table II budget
 """
 
@@ -20,15 +22,28 @@ from repro.config import FusionMode, ProcessorConfig
 from repro.core.simulator import ipc_uplift, simulate, simulate_modes
 from repro.core.storage import helios_storage_budget
 from repro.experiments import (
-    figure2, figure3, figure4, figure5, figure8, figure9, figure10,
-    table1, table2, table3,
+    ResultCache, figure2, figure3, figure4, figure5, figure8, figure9,
+    figure10, run_suite, table1, table2, table3,
 )
-from repro.workloads import CATALOG, build_workload, workload_names
+from repro.workloads import (
+    CATALOG, build_workload, ensure_known, workload_names,
+)
 
 _EXPERIMENTS = {
     "fig2": figure2, "fig3": figure3, "fig4": figure4, "fig5": figure5,
     "fig8": figure8, "fig9": figure9, "fig10": figure10,
     "table1": table1, "table3": table3,
+}
+
+#: The simulation sweep each experiment needs (census-only experiments
+#: — fig2/fig4/fig5/table1 — run no pipeline simulations at all).
+_EXPERIMENT_MODES = {
+    "fig3": (FusionMode.NONE, FusionMode.CSF_SBR, FusionMode.RISCV_PP),
+    "fig8": (FusionMode.HELIOS, FusionMode.ORACLE),
+    "fig9": (FusionMode.NONE, FusionMode.HELIOS, FusionMode.ORACLE),
+    "fig10": (FusionMode.NONE, FusionMode.RISCV, FusionMode.CSF_SBR,
+              FusionMode.RISCV_PP, FusionMode.HELIOS, FusionMode.ORACLE),
+    "table3": (FusionMode.HELIOS,),
 }
 
 _MODES = {mode.value.lower(): mode for mode in FusionMode}
@@ -46,11 +61,10 @@ def _workload_list(arg: Optional[str]) -> Optional[List[str]]:
     if not arg:
         return None
     names = [n.strip() for n in arg.split(",") if n.strip()]
-    for name in names:
-        if name not in CATALOG:
-            raise SystemExit("unknown workload %r (see `repro workloads`)"
-                             % name)
-    return names
+    try:
+        return ensure_known(names)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_workloads(_args) -> int:
@@ -77,7 +91,13 @@ def _cmd_simulate(args) -> int:
     trace = build_workload(args.workload)
     config = _config_from(args)
     if args.mode:
-        result = simulate(trace, config.with_mode(_parse_mode(args.mode)),
+        mode = _parse_mode(args.mode)
+        if args.fp_kind and mode is not FusionMode.HELIOS:
+            raise SystemExit(
+                "--fp-kind selects the Helios fusion predictor and has "
+                "no effect with --mode %s; drop it or use --mode Helios"
+                % mode.value)
+        result = simulate(trace, config.with_mode(mode),
                           name=args.workload)
         print(result.summary())
         return 0
@@ -92,13 +112,50 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_experiment(args) -> int:
     if args.name == "table2":
+        if args.fp_kind:
+            raise SystemExit("--fp-kind does not affect table2 "
+                             "(static storage arithmetic)")
         print(table2().render())
         return 0
     runner = _EXPERIMENTS.get(args.name)
     if runner is None:
         raise SystemExit("unknown experiment %r; choose from: %s, table2"
                          % (args.name, ", ".join(sorted(_EXPERIMENTS))))
-    print(runner(_workload_list(args.workloads)).render())
+    modes = _EXPERIMENT_MODES.get(args.name, ())
+    if args.fp_kind and FusionMode.HELIOS not in modes:
+        raise SystemExit(
+            "--fp-kind selects the Helios fusion predictor, which %r "
+            "never simulates; it applies to: %s"
+            % (args.name, ", ".join(sorted(
+                name for name, sweep in _EXPERIMENT_MODES.items()
+                if FusionMode.HELIOS in sweep))))
+    config = _config_from(args)
+    workloads = _workload_list(args.workloads)
+    if modes:
+        # Warm the (memo + disk) cache in parallel; the generator below
+        # then assembles its rows entirely from cache hits.
+        run_suite(modes, workloads=workloads, config=config,
+                  jobs=args.jobs, cache_dir=args.cache_dir,
+                  use_cache=False if args.no_cache else None)
+    print(runner(workloads, config=config).render())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = (ResultCache(args.cache_dir) if args.cache_dir
+             else ResultCache())
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cached result(s) from %s" % (removed, cache.root))
+        return 0
+    entries = cache.entries()
+    print("cache directory: %s" % cache.root)
+    print("entries: %d (%.1f KiB)"
+          % (len(entries), cache.size_bytes() / 1024.0))
+    for entry in entries:
+        print("  %-20s %-14s %7d B  %s"
+              % (entry["workload"], entry["mode"], entry["bytes"],
+                 entry["file"]))
     return 0
 
 
@@ -129,7 +186,26 @@ def build_parser() -> argparse.ArgumentParser:
                                   "table1|table2|table3")
     exp.add_argument("--workloads",
                      help="comma-separated subset (default: all 32)")
+    exp.add_argument("--fp-kind", choices=["tournament", "tage", "local"],
+                     help="fusion predictor organization for Helios sweeps")
+    exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="simulate cache misses across N worker "
+                          "processes (default: $REPRO_JOBS or 1)")
+    exp.add_argument("--cache-dir", metavar="DIR",
+                     help="persistent result cache directory "
+                          "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="skip the persistent result cache entirely")
     exp.set_defaults(func=_cmd_experiment)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache.add_argument("action", nargs="?", default="info",
+                       choices=["info", "clear"])
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+    cache.set_defaults(func=_cmd_cache)
 
     sub.add_parser("storage", help="print the Table II storage budget") \
         .set_defaults(func=_cmd_storage)

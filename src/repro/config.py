@@ -8,7 +8,10 @@ Allocation Queue between Decode and Rename.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
@@ -130,6 +133,39 @@ class ProcessorConfig:
     def with_mode(self, mode: FusionMode) -> "ProcessorConfig":
         """A copy of this configuration with a different fusion mode."""
         return replace(self, fusion_mode=mode)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict of every timing parameter (enums by value)."""
+        data = dataclasses.asdict(self)
+        data["fusion_mode"] = self.fusion_mode.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ProcessorConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key not in fields:
+                raise ValueError("unknown ProcessorConfig field %r" % key)
+            if key == "fusion_mode":
+                value = FusionMode(value)
+            elif key in ("l1i", "l1d", "l2", "l3"):
+                value = CacheConfig(**value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable short hash over every parameter that affects results.
+
+        Two configurations share a fingerprint iff every field —
+        including the fusion mode and nested cache geometries — is
+        equal, so it is safe to key persistent result caches on
+        ``(workload, fingerprint)``.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     @property
     def memory_fusion_enabled(self) -> bool:

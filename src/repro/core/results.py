@@ -88,11 +88,19 @@ class SimResult:
 
     @property
     def fp_coverage_pct(self) -> float:
-        """Correctly fused predictive pairs / oracle-eligible pairs."""
+        """Captured oracle-eligible pairs / oracle-eligible pairs.
+
+        The numerator credits each prediction-needing oracle pair at
+        most once when a committed predicted fusion captures one of its
+        µ-ops (possibly paired with a different partner than the oracle
+        chose), so the ratio is ≤ 100 % by construction — the raw
+        correct-fusion count, in contrast, can exceed the denominator
+        and previously had to be clamped.
+        """
         if not self.eligible_predictive_pairs:
             return 0.0
-        return min(100.0, 100.0 * self.stats.fp_fusions_correct
-                   / self.eligible_predictive_pairs)
+        return (100.0 * self.stats.fp_covered_pairs
+                / self.eligible_predictive_pairs)
 
     @property
     def fp_accuracy_pct(self) -> float:
@@ -130,6 +138,28 @@ class SimResult:
             "lq": self.stats.dispatch_stall_lq,
             "sq": self.stats.dispatch_stall_sq,
         }
+
+    # -- serialization (persistent result cache) --------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict round-trippable through :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode.value,
+            "stats": self.stats.to_dict(),
+            "total_memory_uops": self.total_memory_uops,
+            "eligible_predictive_pairs": self.eligible_predictive_pairs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        return cls(
+            workload=data["workload"],
+            mode=FusionMode(data["mode"]),
+            stats=CoreStats.from_dict(data["stats"]),
+            total_memory_uops=data["total_memory_uops"],
+            eligible_predictive_pairs=data["eligible_predictive_pairs"],
+        )
 
     def summary(self) -> str:
         """A one-workload human-readable report."""

@@ -16,8 +16,7 @@ from typing import Dict, Iterable, Optional, Union
 
 from repro.config import FusionMode, ProcessorConfig
 from repro.core.results import SimResult
-from repro.fusion.oracle import oracle_memory_pairs
-from repro.fusion.taxonomy import BaseRegKind, Contiguity
+from repro.fusion.oracle import predictive_pair_set
 from repro.isa.interp import run_program
 from repro.isa.program import Program
 from repro.isa.trace import Trace
@@ -31,18 +30,9 @@ def count_eligible_predictive_pairs(trace: Trace,
     non-contiguous addresses).  This is the Table III coverage
     denominator.
     """
-    pairs = oracle_memory_pairs(
+    return len(predictive_pair_set(
         trace, granularity=config.cache_access_granularity,
-        max_distance=config.max_fusion_distance)
-    eligible = 0
-    for pair in pairs:
-        statically_visible = (
-            pair.consecutive
-            and pair.base_kind is BaseRegKind.SBR
-            and pair.contiguity is Contiguity.CONTIGUOUS)
-        if not statically_visible:
-            eligible += 1
-    return eligible
+        max_distance=config.max_fusion_distance))
 
 
 def simulate(workload: Union[Program, Trace],
@@ -58,9 +48,9 @@ def simulate(workload: Union[Program, Trace],
     trace = run_program(workload) if isinstance(workload, Program) else workload
     core = PipelineCore(trace, config)
     stats = core.run(max_cycles=max_cycles)
-    eligible = 0
-    if config.fusion_mode is FusionMode.HELIOS:
-        eligible = count_eligible_predictive_pairs(trace, config)
+    # The core already computed the oracle prediction-needing pair set
+    # for its coverage accounting; its size is the coverage denominator.
+    eligible = len(core.predictive_pairs)
     return SimResult(
         workload=name or trace.name,
         mode=config.fusion_mode,

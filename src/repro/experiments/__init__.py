@@ -1,12 +1,18 @@
 """Experiment harness: regenerates every table and figure of the
 paper's evaluation (see DESIGN.md §5 for the experiment index).
 
+* :mod:`repro.experiments.engine` — parallel sweep engine
+  (``multiprocessing`` fan-out over (workload, config) jobs).
+* :mod:`repro.experiments.cache` — persistent on-disk result cache
+  keyed by workload + configuration fingerprint.
 * :mod:`repro.experiments.runner` — cached (workload x configuration)
-  simulation sweeps.
+  simulation sweeps (module-level façade over the engine).
 * :mod:`repro.experiments.figures` — Figures 2, 3, 4, 5, 8, 9, 10.
 * :mod:`repro.experiments.tables` — Tables I, II, III.
 """
 
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.engine import SweepEngine
 from repro.experiments.figures import (
     figure2,
     figure3,
@@ -16,12 +22,13 @@ from repro.experiments.figures import (
     figure9,
     figure10,
 )
-from repro.experiments.runner import get_result, run_suite
+from repro.experiments.runner import clear_cache, get_result, run_suite
 from repro.experiments.tables import table1, table2, table3
 
 __all__ = [
+    "ResultCache", "SweepEngine", "default_cache_dir",
     "figure2", "figure3", "figure4", "figure5",
     "figure8", "figure9", "figure10",
-    "get_result", "run_suite",
+    "clear_cache", "get_result", "run_suite",
     "table1", "table2", "table3",
 ]

@@ -1,0 +1,145 @@
+"""Persistent on-disk simulation result cache.
+
+Every (workload, configuration) simulation outcome can be written to a
+small JSON file keyed by the workload name, a stable fingerprint of the
+full :class:`~repro.config.ProcessorConfig` (fusion mode included) and
+a cache schema version.  Later sweeps — in the same process, another
+process, or another run entirely — are served from disk instead of
+re-simulating, which is what lets the figure/table generators and the
+benchmark suite share their heavily-overlapping sweeps.
+
+The cache is safe to delete at any time (``repro cache clear``), and a
+corrupted or truncated entry is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.config import ProcessorConfig
+from repro.core.results import SimResult
+
+#: Bump whenever the on-disk layout or the meaning of any persisted
+#: counter changes; old entries then simply stop matching.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Set (to anything non-empty) to disable the persistent cache.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_enabled_by_default() -> bool:
+    return not os.environ.get(NO_CACHE_ENV)
+
+
+def cache_key(workload: str, config: ProcessorConfig) -> str:
+    """Filename-safe key: workload + config fingerprint + schema."""
+    safe = "".join(c if c.isalnum() or c in "._-" else "_"
+                   for c in workload)
+    return "%s-%s-v%d" % (safe, config.fingerprint(), CACHE_SCHEMA_VERSION)
+
+
+class ResultCache:
+    """One directory of JSON-serialized :class:`SimResult` entries."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / (key + ".json")
+
+    # ------------------------------------------------------------- access --
+
+    def get(self, workload: str,
+            config: ProcessorConfig) -> Optional[SimResult]:
+        """The cached result, or ``None`` on miss / corruption."""
+        path = self.path_for(cache_key(workload, config))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            return SimResult.from_dict(data["result"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupted / truncated / foreign file: drop it and miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, workload: str, config: ProcessorConfig,
+            result: SimResult) -> None:
+        """Atomically persist one result (tmp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(cache_key(workload, config))
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "workload": workload,
+            "mode": config.fusion_mode.value,
+            "fingerprint": config.fingerprint(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, str(path))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ---------------------------------------------------------- inspection --
+
+    def entries(self) -> List[Dict]:
+        """Metadata of every readable entry (for ``repro cache``)."""
+        found = []
+        for path in sorted(self.root.glob("*.json")):
+            info = {"file": path.name, "bytes": path.stat().st_size}
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                info["workload"] = data.get("workload", "?")
+                info["mode"] = data.get("mode", "?")
+                info["schema"] = data.get("schema", "?")
+            except (ValueError, OSError):
+                info["workload"] = info["mode"] = "?"
+                info["schema"] = "corrupt"
+            found.append(info)
+        return found
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,154 @@
+"""Parallel sweep engine: fan (workload, configuration) simulation
+jobs across worker processes, backed by the persistent result cache.
+
+The simulations are embarrassingly parallel — each (workload, mode,
+config) job rebuilds its deterministic trace and runs an independent
+:class:`~repro.pipeline.core.PipelineCore` — so the engine simply
+partitions the missing jobs over a ``multiprocessing`` pool.  With
+``jobs=1`` (the default) everything runs sequentially in-process,
+which keeps tier-1 tests and determinism untouched; a ``jobs=N`` sweep
+produces bit-identical results because every job is self-contained and
+the pool map preserves job order.
+
+Lookup order per job: process-local memo → persistent disk cache →
+simulate.  Both layers key on the *full* configuration fingerprint, so
+custom-config sweeps are cached exactly like default-config ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.core.results import SimResult
+from repro.core.simulator import simulate
+from repro.experiments.cache import (
+    ResultCache,
+    cache_enabled_by_default,
+    cache_key,
+)
+from repro.workloads import build_workload, ensure_known, workload_names
+
+#: Environment variable supplying the default worker count
+#: (``auto``/``0`` means one worker per CPU).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (default: 1, sequential)."""
+    raw = os.environ.get(JOBS_ENV, "").strip().lower()
+    if not raw:
+        return 1
+    if raw in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _execute_job(job: Tuple[str, ProcessorConfig]) -> SimResult:
+    """Worker entry point: one self-contained simulation."""
+    name, config = job
+    return simulate(build_workload(name), config, name=name)
+
+
+class SweepEngine:
+    """Runs (workload, mode) sweeps through memo + disk cache + pool."""
+
+    def __init__(self,
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 use_cache: Optional[bool] = None,
+                 memo: Optional[Dict[str, SimResult]] = None):
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.cache = cache if cache is not None else ResultCache()
+        self.use_cache = (use_cache if use_cache is not None
+                          else cache_enabled_by_default())
+        self.memo = memo if memo is not None else {}
+
+    # -------------------------------------------------------------- lookup --
+
+    def _lookup(self, name: str,
+                config: ProcessorConfig) -> Optional[SimResult]:
+        key = cache_key(name, config)
+        hit = self.memo.get(key)
+        if hit is not None:
+            return hit
+        if self.use_cache:
+            hit = self.cache.get(name, config)
+            if hit is not None:
+                self.memo[key] = hit
+                return hit
+        return None
+
+    def _store(self, name: str, config: ProcessorConfig,
+               result: SimResult) -> None:
+        self.memo[cache_key(name, config)] = result
+        if self.use_cache:
+            self.cache.put(name, config, result)
+
+    # ------------------------------------------------------------- execute --
+
+    def _execute(self, jobs: List[Tuple[str, ProcessorConfig]]
+                 ) -> List[SimResult]:
+        workers = min(self.jobs, len(jobs))
+        if workers <= 1:
+            return [_execute_job(job) for job in jobs]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ctx.Pool(processes=workers) as pool:
+            # chunksize=1: jobs are coarse (whole simulations) and
+            # uneven, so per-job dispatch load-balances best.
+            return pool.map(_execute_job, jobs, chunksize=1)
+
+    # --------------------------------------------------------------- sweeps --
+
+    def result(self, workload: str, mode: FusionMode,
+               config: Optional[ProcessorConfig] = None) -> SimResult:
+        """One (workload, mode) simulation through the cache stack."""
+        base = config or ProcessorConfig()
+        full = base.with_mode(mode)
+        hit = self._lookup(workload, full)
+        if hit is not None:
+            return hit
+        result = _execute_job((workload, full))
+        self._store(workload, full, result)
+        return result
+
+    def sweep(self,
+              modes: Iterable[FusionMode],
+              workloads: Optional[List[str]] = None,
+              config: Optional[ProcessorConfig] = None,
+              ) -> Dict[str, Dict[str, SimResult]]:
+        """Sweep workloads × modes; returns results[workload][mode.value].
+
+        Cache misses are simulated in parallel (``self.jobs`` worker
+        processes); everything else is served from the memo/disk cache.
+        """
+        names = (list(workloads) if workloads is not None
+                 else workload_names())
+        ensure_known(names)
+        modes = list(modes)
+        base = config or ProcessorConfig()
+
+        results: Dict[str, Dict[str, SimResult]] = {n: {} for n in names}
+        missing: List[Tuple[str, ProcessorConfig]] = []
+        for name in names:
+            for mode in modes:
+                full = base.with_mode(mode)
+                hit = self._lookup(name, full)
+                if hit is not None:
+                    results[name][mode.value] = hit
+                else:
+                    missing.append((name, full))
+
+        if missing:
+            for (name, full), result in zip(missing,
+                                            self._execute(missing)):
+                self._store(name, full, result)
+                results[name][full.fusion_mode.value] = result
+        return results

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.config import FusionMode
+from repro.config import FusionMode, ProcessorConfig
 from repro.fusion.oracle import analyze_trace
 from repro.fusion.taxonomy import Contiguity
 from repro.experiments.runner import get_result
@@ -50,9 +50,19 @@ def _names(workloads: Optional[Sequence[str]]) -> List[str]:
     return list(workloads) if workloads is not None else workload_names()
 
 
+def _census(name: str, config: Optional[ProcessorConfig]):
+    """Oracle census of one workload under one configuration's
+    granularity / fusion-distance parameters."""
+    cfg = config or ProcessorConfig()
+    return analyze_trace(build_workload(name),
+                         granularity=cfg.cache_access_granularity,
+                         max_distance=cfg.max_fusion_distance)
+
+
 # ---------------------------------------------------------------- Figure 2 --
 
-def figure2(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure2(workloads: Optional[Sequence[str]] = None,
+            config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """% of dynamic µ-ops inside fused pairs: Memory vs Others idioms.
 
     Paper: memory pairing averages 5.6 % of dynamic µ-ops and the other
@@ -61,7 +71,7 @@ def figure2(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     """
     rows = []
     for name in _names(workloads):
-        analysis = analyze_trace(build_workload(name))
+        analysis = _census(name, config)
         rows.append([
             name,
             100.0 * analysis.memory_fused_uop_fraction,
@@ -77,7 +87,8 @@ def figure2(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
 
 # ---------------------------------------------------------------- Figure 3 --
 
-def figure3(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure3(workloads: Optional[Sequence[str]] = None,
+            config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """IPC of memory-only vs all-idiom consecutive fusion vs no fusion.
 
     Paper: the two differ by about one percentage point on average;
@@ -85,9 +96,9 @@ def figure3(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     """
     rows = []
     for name in _names(workloads):
-        base = get_result(name, FusionMode.NONE).ipc
-        memory_only = get_result(name, FusionMode.CSF_SBR).ipc
-        all_idioms = get_result(name, FusionMode.RISCV_PP).ipc
+        base = get_result(name, FusionMode.NONE, config).ipc
+        memory_only = get_result(name, FusionMode.CSF_SBR, config).ipc
+        all_idioms = get_result(name, FusionMode.RISCV_PP, config).ipc
         rows.append([name, memory_only / base, all_idioms / base])
     summary = ["geomean", geomean(r[1] for r in rows),
                geomean(r[2] for r in rows)]
@@ -104,7 +115,8 @@ _FIG4_CATEGORIES = (Contiguity.CONTIGUOUS, Contiguity.OVERLAPPING,
                     Contiguity.SAME_LINE, Contiguity.NEXT_LINE)
 
 
-def figure4(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure4(workloads: Optional[Sequence[str]] = None,
+            config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """Consecutive memory pair categories relative to dynamic µ-ops.
 
     Paper: overlapping pairs are rare; ~1 % extra µ-ops could fuse with
@@ -113,8 +125,7 @@ def figure4(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     """
     rows = []
     for name in _names(workloads):
-        trace = build_workload(name)
-        analysis = analyze_trace(trace)
+        analysis = _census(name, config)
         histogram = analysis.contiguity_histogram()
         total = max(1, analysis.total_uops)
         rows.append([name] + [100.0 * 2 * histogram[cat] / total
@@ -130,7 +141,8 @@ def figure4(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
 
 # ---------------------------------------------------------------- Figure 5 --
 
-def figure5(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure5(workloads: Optional[Sequence[str]] = None,
+            config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """Additional potential from non-consecutive and DBR fusion.
 
     Paper: NCSF adds substantially over CSF; 12.1 % of NCSF pairs are
@@ -139,7 +151,7 @@ def figure5(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     """
     rows = []
     for name in _names(workloads):
-        analysis = analyze_trace(build_workload(name))
+        analysis = _census(name, config)
         total = max(1, analysis.total_uops)
         rows.append([
             name,
@@ -161,7 +173,8 @@ def figure5(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
 
 # ---------------------------------------------------------------- Figure 8 --
 
-def figure8(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure8(workloads: Optional[Sequence[str]] = None,
+            config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """CSF and NCSF fused pairs, Helios vs OracleFusion (% of memory ops).
 
     Paper: Helios delivers 6.7 % CSF + 5.5 % NCSF; Oracle 6.1 % CSF with
@@ -169,8 +182,8 @@ def figure8(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     """
     rows = []
     for name in _names(workloads):
-        helios = get_result(name, FusionMode.HELIOS)
-        oracle = get_result(name, FusionMode.ORACLE)
+        helios = get_result(name, FusionMode.HELIOS, config)
+        oracle = get_result(name, FusionMode.ORACLE, config)
         rows.append([
             name,
             helios.csf_pair_pct_of_memory, helios.ncsf_pair_pct_of_memory,
@@ -187,13 +200,14 @@ def figure8(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
 
 # ---------------------------------------------------------------- Figure 9 --
 
-def figure9(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure9(workloads: Optional[Sequence[str]] = None,
+            config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """Rename and Dispatch structural stalls (% of execution cycles)."""
     rows = []
     for name in _names(workloads):
-        base = get_result(name, FusionMode.NONE)
-        helios = get_result(name, FusionMode.HELIOS)
-        oracle = get_result(name, FusionMode.ORACLE)
+        base = get_result(name, FusionMode.NONE, config)
+        helios = get_result(name, FusionMode.HELIOS, config)
+        oracle = get_result(name, FusionMode.ORACLE, config)
         rows.append([
             name,
             base.rename_stall_pct, base.dispatch_stall_pct,
@@ -216,7 +230,8 @@ _FIG10_MODES = (FusionMode.RISCV, FusionMode.CSF_SBR, FusionMode.RISCV_PP,
                 FusionMode.HELIOS, FusionMode.ORACLE)
 
 
-def figure10(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def figure10(workloads: Optional[Sequence[str]] = None,
+             config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """IPC of every configuration normalized to the no-fusion baseline.
 
     Paper (geomean): RISCVFusion +0.8 %, CSF-SBR +6 %, RISCVFusion++
@@ -224,8 +239,8 @@ def figure10(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     """
     rows = []
     for name in _names(workloads):
-        base = get_result(name, FusionMode.NONE).ipc
-        rows.append([name] + [get_result(name, mode).ipc / base
+        base = get_result(name, FusionMode.NONE, config).ipc
+        rows.append([name] + [get_result(name, mode, config).ipc / base
                               for mode in _FIG10_MODES])
     summary = ["geomean"] + [geomean(r[i] for r in rows)
                              for i in range(1, len(_FIG10_MODES) + 1)]

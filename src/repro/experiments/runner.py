@@ -1,9 +1,17 @@
 """Cached simulation sweeps over the workload catalog.
 
-Results for the default :class:`~repro.config.ProcessorConfig` are
-memoised per (workload, mode) within the process, so the figure and
-table generators — which share most of their sweeps — only pay for
-each simulation once.
+Thin module-level façade over :class:`~repro.experiments.engine.
+SweepEngine`: results are memoised in-process *and* persisted to the
+on-disk cache (``~/.cache/repro`` by default, see
+:mod:`repro.experiments.cache`), keyed by workload name plus a stable
+fingerprint of the full :class:`~repro.config.ProcessorConfig` — so
+custom-config sweeps cache exactly like default-config ones, and the
+figure/table generators (which share most of their sweeps) pay for
+each simulation at most once *across* processes.
+
+Environment knobs: ``REPRO_JOBS`` (worker processes, default 1),
+``REPRO_CACHE_DIR`` (cache directory), ``REPRO_NO_CACHE`` (disable the
+persistent layer).
 """
 
 from __future__ import annotations
@@ -12,41 +20,48 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.config import FusionMode, ProcessorConfig
 from repro.core.results import SimResult
-from repro.core.simulator import simulate
-from repro.workloads import build_workload, workload_names
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import SweepEngine
 
-_CACHE: Dict[tuple, SimResult] = {}
-_DEFAULT_CONFIG = ProcessorConfig()
+#: Process-local memo shared by every engine this module builds, so
+#: repeated figure/table calls in one process never re-read the disk.
+_MEMO: Dict[str, SimResult] = {}
+
+
+def _engine(jobs: Optional[int] = None,
+            cache_dir: Optional[str] = None,
+            use_cache: Optional[bool] = None) -> SweepEngine:
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return SweepEngine(jobs=jobs, cache=cache, use_cache=use_cache,
+                       memo=_MEMO)
 
 
 def get_result(workload: str, mode: FusionMode,
-               config: Optional[ProcessorConfig] = None) -> SimResult:
-    """Simulate one (workload, mode) pair, memoised for the default config."""
-    cacheable = config is None
-    if cacheable:
-        key = (workload, mode)
-        hit = _CACHE.get(key)
-        if hit is not None:
-            return hit
-    base = config or _DEFAULT_CONFIG
-    result = simulate(build_workload(workload), base.with_mode(mode),
-                      name=workload)
-    if cacheable:
-        _CACHE[(workload, mode)] = result
-    return result
+               config: Optional[ProcessorConfig] = None,
+               use_cache: Optional[bool] = None) -> SimResult:
+    """Simulate one (workload, mode) pair through the cache stack."""
+    return _engine(use_cache=use_cache).result(workload, mode, config)
 
 
 def run_suite(modes: Iterable[FusionMode],
               workloads: Optional[List[str]] = None,
               config: Optional[ProcessorConfig] = None,
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None,
+              use_cache: Optional[bool] = None,
               ) -> Dict[str, Dict[str, SimResult]]:
-    """Sweep workloads x modes; returns results[workload][mode.value]."""
-    names = workloads if workloads is not None else workload_names()
-    return {
-        name: {mode.value: get_result(name, mode, config) for mode in modes}
-        for name in names
-    }
+    """Sweep workloads x modes; returns results[workload][mode.value].
+
+    ``jobs > 1`` fans cache misses across worker processes; the result
+    is bit-identical to the sequential (default) run.
+    """
+    engine = _engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    return engine.sweep(modes, workloads=workloads, config=config)
 
 
-def clear_cache() -> None:
-    _CACHE.clear()
+def clear_cache(disk: bool = False) -> None:
+    """Drop the in-process memo (and, with ``disk=True``, the
+    persistent cache directory's entries too)."""
+    _MEMO.clear()
+    if disk:
+        ResultCache().clear()

@@ -6,22 +6,21 @@ from typing import Optional, Sequence
 
 from repro.config import FusionMode, ProcessorConfig
 from repro.core.storage import helios_storage_budget
-from repro.experiments.figures import ExperimentResult, _names
+from repro.experiments.figures import ExperimentResult, _census, _names
 from repro.experiments.runner import get_result
 from repro.fusion.idioms import IDIOMS
-from repro.fusion.oracle import analyze_trace
 from repro.stats import amean
-from repro.workloads import build_workload
 
 
-def table1(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def table1(workloads: Optional[Sequence[str]] = None,
+           config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """Table I: the RISC-V fusion idiom set, with the dynamic pair
     counts each idiom contributes across the workload suite (memory
     pairing idioms — the paper's bold rows — flagged).
     """
     counts = {idiom.name: 0 for idiom in IDIOMS}
     for name in _names(workloads):
-        analysis = analyze_trace(build_workload(name))
+        analysis = _census(name, config)
         for pair in analysis.memory_pairs + analysis.other_pairs:
             counts[pair.idiom] = counts.get(pair.idiom, 0) + 1
     rows = [[idiom.name, "yes" if idiom.is_memory else "no",
@@ -87,7 +86,8 @@ def table2(config: Optional[ProcessorConfig] = None) -> ExperimentResult:
               "(+6336 flush-pointer bits, ~83 Kbit total)")
 
 
-def table3(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+def table3(workloads: Optional[Sequence[str]] = None,
+           config: Optional[ProcessorConfig] = None) -> ExperimentResult:
     """Table III: fusion predictor coverage, accuracy and MPKI.
 
     Coverage is only defined for workloads that *have* pairs needing a
@@ -97,7 +97,7 @@ def table3(workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
     rows = []
     coverages = []
     for name in _names(workloads):
-        result = get_result(name, FusionMode.HELIOS)
+        result = get_result(name, FusionMode.HELIOS, config)
         if result.eligible_predictive_pairs:
             coverage = "%.2f" % result.fp_coverage_pct
             coverages.append(result.fp_coverage_pct)

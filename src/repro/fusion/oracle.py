@@ -115,6 +115,30 @@ def _eligible_pair(head: MicroOp, tail: MicroOp, tainted: set,
     return True
 
 
+def predictive_pair_set(trace: Sequence[MicroOp],
+                        granularity: int = 64,
+                        max_distance: int = 64) -> set:
+    """``(head_seq, tail_seq)`` of every oracle pair that *needs* a
+    prediction: NCSF pairs plus CSF pairs a static decode window cannot
+    see (different base register or non-contiguous addresses).
+
+    This is the Table III coverage denominator; the pipeline charges
+    the coverage numerator only for committed predicted fusions whose
+    pair is in this set, so coverage is ≤ 100 % by construction.
+    """
+    pairs = oracle_memory_pairs(trace, granularity=granularity,
+                                max_distance=max_distance)
+    eligible = set()
+    for pair in pairs:
+        statically_visible = (
+            pair.consecutive
+            and pair.base_kind is BaseRegKind.SBR
+            and pair.contiguity is Contiguity.CONTIGUOUS)
+        if not statically_visible:
+            eligible.add((pair.head_seq, pair.tail_seq))
+    return eligible
+
+
 def consecutive_memory_pairs(trace: Sequence[MicroOp],
                              granularity: int = 64,
                              require_same_base: bool = True,

@@ -23,13 +23,14 @@ Fusion responsibilities match the paper's Figure 6:
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import FusionMode, ProcessorConfig
-from repro.fusion.oracle import oracle_memory_pairs
+from repro.fusion.oracle import oracle_memory_pairs, predictive_pair_set
 from repro.fusion.taxonomy import span
 from repro.fusion.window import ConsecutiveFusionWindow
 from repro.isa.instructions import EXECUTION_LATENCY, OpClass
@@ -69,6 +70,15 @@ class CoreStats:
     # Fusion predictor outcome (Helios).
     fp_fusions_attempted: int = 0
     fp_fusions_correct: int = 0
+    #: Oracle prediction-needing pairs captured by a committed
+    #: predicted fusion (each oracle pair credited at most once) — the
+    #: Table III coverage numerator.  Kept separate from
+    #: ``fp_fusions_correct`` (the accuracy numerator) because the
+    #: predictor may also fuse statically-visible pairs, or pair a
+    #: µ-op with a different partner than the oracle's matching —
+    #: which made the raw correct-fusion count exceed the eligible-pair
+    #: denominator.
+    fp_covered_pairs: int = 0
     fp_address_mispredictions: int = 0
     fp_legality_unfusions: int = 0
     fp_predictions_without_head: int = 0
@@ -94,6 +104,21 @@ class CoreStats:
     @property
     def fused_pairs(self) -> int:
         return self.csf_memory_pairs + self.ncsf_memory_pairs + self.other_pairs
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe dict of every raw counter."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CoreStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored so a cache-schema bump (which adds
+        counters) does not have to invalidate otherwise-readable
+        entries; missing counters keep their dataclass defaults.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class PipelineCore:
@@ -158,6 +183,21 @@ class PipelineCore:
             self.uch_store_queue = UCHUpdateQueue(
                 capacity=config.uch_queue_entries,
                 inserts_per_cycle=config.commit_width, drains_per_cycle=1)
+        #: Oracle pairs needing prediction (Table III coverage
+        #: denominator), plus the crediting state that charges each
+        #: oracle pair at most once when a committed predicted fusion
+        #: captures one of its µ-ops — possibly paired with a different
+        #: partner than the oracle chose.
+        self.predictive_pairs: Set[Tuple[int, int]] = set()
+        self._eligible_pair_by_seq: Dict[int, Tuple[int, int]] = {}
+        self._credited_pairs: Set[Tuple[int, int]] = set()
+        if mode is FusionMode.HELIOS:
+            self.predictive_pairs = predictive_pair_set(
+                self.trace, granularity=config.cache_access_granularity,
+                max_distance=config.max_fusion_distance)
+            for pair in self.predictive_pairs:
+                self._eligible_pair_by_seq[pair[0]] = pair
+                self._eligible_pair_by_seq[pair[1]] = pair
         self._oracle_tail_to_head: Dict[int, int] = {}
         if mode is FusionMode.ORACLE:
             pairs = oracle_memory_pairs(
@@ -950,6 +990,12 @@ class PipelineCore:
                 self.fp.resolve(uop.fp_prediction, correct=True)
                 uop.fp_prediction = None
                 stats.fp_fusions_correct += 1
+                for seq in (uop.seq, uop.tail.seq):
+                    pair = self._eligible_pair_by_seq.get(seq)
+                    if pair is not None and pair not in self._credited_pairs:
+                        self._credited_pairs.add(pair)
+                        stats.fp_covered_pairs += 1
+                        break
         elif uop.fusion is FusionKind.OTHER:
             stats.other_pairs += 1
 

@@ -13,6 +13,7 @@ from repro.workloads.catalog import (
     WorkloadSpec,
     build_program,
     build_workload,
+    ensure_known,
     workload_names,
 )
 from repro.workloads.synthesis import synthesize_trace
@@ -22,6 +23,7 @@ __all__ = [
     "WorkloadSpec",
     "build_program",
     "build_workload",
+    "ensure_known",
     "synthesize_trace",
     "workload_names",
 ]

@@ -168,6 +168,23 @@ def workload_names(suite: str = None) -> List[str]:
             if suite is None or spec.suite == suite]
 
 
+def ensure_known(names: List[str]) -> List[str]:
+    """Validate workload names against the catalog up front.
+
+    Raises :class:`ValueError` naming every unknown workload and the
+    available catalog, so a typo surfaces immediately instead of as an
+    opaque ``KeyError`` deep inside ``build_workload``.
+    """
+    unknown = [name for name in names if name not in CATALOG]
+    if unknown:
+        raise ValueError(
+            "unknown workload%s %s (see `repro workloads`); available: %s"
+            % ("s" if len(unknown) > 1 else "",
+               ", ".join(repr(name) for name in unknown),
+               ", ".join(workload_names())))
+    return list(names)
+
+
 def build_program(name: str) -> Program:
     """Assemble the named workload's kernel."""
     spec = CATALOG[name]

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+The persistent result cache is pointed at a per-session temporary
+directory: cache behaviour (including cross-call reuse) is still
+exercised, but a simulator change can never be masked by entries a
+previous code version left in the user's real cache directory.
+"""
+
+import os
+import tempfile
+
+
+def pytest_configure(config):
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR",
+        tempfile.mkdtemp(prefix="repro-test-cache-"))

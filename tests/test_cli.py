@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.experiments import clear_cache
 
 
 def test_workloads_listing(capsys):
@@ -63,6 +64,54 @@ def test_experiment_unknown():
 def test_experiment_unknown_workload():
     with pytest.raises(SystemExit, match="unknown workload"):
         main(["experiment", "fig2", "--workloads", "nope"])
+
+
+def test_simulate_fp_kind_requires_helios_mode():
+    with pytest.raises(SystemExit, match="no effect with --mode NoFusion"):
+        main(["simulate", "bitcount", "--mode", "NoFusion",
+              "--fp-kind", "tage"])
+
+
+def test_experiment_fp_kind_threads_config(capsys, tmp_path):
+    assert main(["experiment", "table3", "--workloads", "bitcount",
+                 "--fp-kind", "tage", "--cache-dir", str(tmp_path)]) == 0
+    assert "Table III" in capsys.readouterr().out
+
+
+def test_experiment_fp_kind_inapplicable():
+    # fig2 is a census: it never simulates Helios, so --fp-kind would
+    # be silently ignored — error out instead.
+    with pytest.raises(SystemExit, match="never simulates"):
+        main(["experiment", "fig2", "--workloads", "bitcount",
+              "--fp-kind", "tage"])
+    with pytest.raises(SystemExit, match="table2"):
+        main(["experiment", "table2", "--fp-kind", "tage"])
+
+
+def test_experiment_parallel_jobs_with_cache(capsys, tmp_path):
+    clear_cache()  # cold in-process memo: force the disk path
+    argv = ["experiment", "fig3", "--workloads", "bitcount",
+            "--jobs", "2", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "Figure 3" in capsys.readouterr().out
+    assert len(list(tmp_path.glob("*.json"))) == 3  # one per mode
+    # Re-run served from the persistent cache.
+    assert main(argv) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_cache_subcommand_info_and_clear(capsys, tmp_path):
+    clear_cache()  # cold in-process memo: force the disk path
+    assert main(["experiment", "fig3", "--workloads", "bitcount",
+                 "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 3" in out
+    assert "bitcount" in out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 3" in capsys.readouterr().out
+    assert list(tmp_path.glob("*.json")) == []
 
 
 def test_storage_report(capsys):

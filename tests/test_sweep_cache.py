@@ -1,0 +1,210 @@
+"""Tests for the parallel sweep engine and the persistent result cache
+(serialization round-trips, fingerprint keying, corruption recovery,
+parallel-vs-sequential determinism, coverage bounds)."""
+
+import json
+
+import pytest
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.core.results import SimResult
+from repro.core.simulator import simulate
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+)
+from repro.experiments.engine import SweepEngine
+from repro.experiments.runner import get_result
+from repro.pipeline.core import CoreStats
+from repro.workloads import build_workload, ensure_known
+
+
+@pytest.fixture(scope="module")
+def helios_result():
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    return simulate(build_workload("657.xz_1"), config, name="657.xz_1")
+
+
+# ---- serialization round-trips ----------------------------------------------
+
+def test_core_stats_round_trip(helios_result):
+    stats = helios_result.stats
+    assert stats.cycles > 0
+    assert CoreStats.from_dict(stats.to_dict()) == stats
+
+
+def test_core_stats_from_dict_tolerates_schema_drift():
+    stats = CoreStats.from_dict({"cycles": 7, "some_future_counter": 9})
+    assert stats.cycles == 7
+    assert stats.instructions == 0  # missing counters keep defaults
+
+
+def test_sim_result_round_trip_through_json(helios_result):
+    wire = json.loads(json.dumps(helios_result.to_dict()))
+    back = SimResult.from_dict(wire)
+    assert back.workload == helios_result.workload
+    assert back.mode is FusionMode.HELIOS
+    assert back.stats == helios_result.stats
+    assert back.ipc == helios_result.ipc
+    assert back.fp_coverage_pct == helios_result.fp_coverage_pct
+
+
+def test_processor_config_round_trip():
+    config = ProcessorConfig(iq_size=96, fp_kind="tage").with_mode(
+        FusionMode.HELIOS)
+    assert ProcessorConfig.from_dict(config.to_dict()) == config
+    with pytest.raises(ValueError, match="unknown ProcessorConfig field"):
+        ProcessorConfig.from_dict({"not_a_field": 1})
+
+
+# ---- fingerprints ------------------------------------------------------------
+
+def test_fingerprint_stable_and_sensitive():
+    base = ProcessorConfig()
+    assert base.fingerprint() == ProcessorConfig().fingerprint()
+    assert base.fingerprint() != base.with_mode(FusionMode.HELIOS).fingerprint()
+    assert base.fingerprint() != ProcessorConfig(iq_size=96).fingerprint()
+    assert base.fingerprint() != ProcessorConfig(fp_kind="tage").fingerprint()
+
+
+def test_cache_key_includes_schema_version():
+    key = cache_key("657.xz_1", ProcessorConfig())
+    assert key.startswith("657.xz_1-")
+    assert key.endswith("-v%d" % CACHE_SCHEMA_VERSION)
+
+
+# ---- persistent cache --------------------------------------------------------
+
+def test_cache_hit_and_miss_on_config_change(tmp_path, helios_result):
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    assert cache.get("657.xz_1", config) is None  # cold
+    cache.put("657.xz_1", config, helios_result)
+    hit = cache.get("657.xz_1", config)
+    assert hit is not None and hit.stats == helios_result.stats
+    # Any config change is a different fingerprint: a miss, not a stale hit.
+    assert cache.get("657.xz_1", config.with_mode(FusionMode.ORACLE)) is None
+    changed = ProcessorConfig(iq_size=96).with_mode(FusionMode.HELIOS)
+    assert cache.get("657.xz_1", changed) is None
+    # And a different workload never aliases.
+    assert cache.get("605.mcf", config) is None
+
+
+def test_cache_recovers_from_corrupted_file(tmp_path, helios_result):
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    cache.put("657.xz_1", config, helios_result)
+    path = cache.path_for(cache_key("657.xz_1", config))
+    path.write_text("{ truncated garbage")
+    assert cache.get("657.xz_1", config) is None
+    assert not path.exists()  # the corrupt entry was dropped
+    cache.put("657.xz_1", config, helios_result)  # and is re-writable
+    assert cache.get("657.xz_1", config) is not None
+
+
+def test_cache_ignores_schema_mismatch(tmp_path, helios_result):
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    cache.put("657.xz_1", config, helios_result)
+    path = cache.path_for(cache_key("657.xz_1", config))
+    data = json.loads(path.read_text())
+    data["schema"] = CACHE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(data))
+    assert cache.get("657.xz_1", config) is None
+
+
+def test_cache_inspection_and_clear(tmp_path, helios_result):
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    cache.put("657.xz_1", config, helios_result)
+    entries = cache.entries()
+    assert len(entries) == 1
+    assert entries[0]["workload"] == "657.xz_1"
+    assert entries[0]["mode"] == "Helios"
+    assert cache.size_bytes() > 0
+    assert cache.clear() == 1
+    assert cache.entries() == []
+
+
+# ---- sweep engine ------------------------------------------------------------
+
+SWEEP_MODES = [FusionMode.NONE, FusionMode.CSF_SBR]
+SWEEP_WORKLOADS = ["bitcount", "dijkstra"]
+
+
+def test_parallel_sweep_identical_to_sequential(tmp_path):
+    sequential = SweepEngine(jobs=1, use_cache=False, memo={}).sweep(
+        SWEEP_MODES, SWEEP_WORKLOADS)
+    parallel = SweepEngine(jobs=2, use_cache=False, memo={}).sweep(
+        SWEEP_MODES, SWEEP_WORKLOADS)
+    for name in SWEEP_WORKLOADS:
+        for mode in SWEEP_MODES:
+            left = sequential[name][mode.value]
+            right = parallel[name][mode.value]
+            assert left.to_dict() == right.to_dict(), (name, mode)
+
+
+def test_sweep_served_from_disk_across_engines(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = SweepEngine(jobs=1, cache=cache, use_cache=True, memo={})
+    warm = first.sweep(SWEEP_MODES, SWEEP_WORKLOADS)
+    # A fresh engine (fresh memo, same directory) must not simulate.
+    second = SweepEngine(jobs=1, cache=cache, use_cache=True, memo={})
+    second._execute = lambda jobs: pytest.fail(
+        "sweep re-simulated despite a warm persistent cache: %r" % jobs)
+    served = second.sweep(SWEEP_MODES, SWEEP_WORKLOADS)
+    for name in SWEEP_WORKLOADS:
+        for mode in SWEEP_MODES:
+            assert (served[name][mode.value].to_dict()
+                    == warm[name][mode.value].to_dict())
+
+
+def test_sweep_validates_workload_names(tmp_path):
+    engine = SweepEngine(jobs=1, use_cache=False, memo={})
+    with pytest.raises(ValueError, match="unknown workload 'nope'"):
+        engine.sweep([FusionMode.NONE], ["nope"])
+
+
+def test_ensure_known_lists_catalog():
+    with pytest.raises(ValueError) as excinfo:
+        ensure_known(["bitcount", "typo1", "typo2"])
+    message = str(excinfo.value)
+    assert "unknown workloads 'typo1', 'typo2'" in message
+    assert "repro workloads" in message
+    assert "657.xz_1" in message  # the available catalog is listed
+
+
+def test_custom_config_results_are_memoised():
+    # Custom configs used to bypass the runner cache entirely; now they
+    # key on the fingerprint like everything else.
+    config = ProcessorConfig(fp_kind="tage")
+    first = get_result("bitcount", FusionMode.HELIOS, config,
+                       use_cache=False)
+    second = get_result("bitcount", FusionMode.HELIOS, config,
+                        use_cache=False)
+    assert first is second
+
+
+# ---- Table III coverage bounds (the unclamped metric) ------------------------
+
+def test_fp_coverage_bounded_without_clamp(helios_result):
+    assert helios_result.eligible_predictive_pairs > 0
+    assert (helios_result.stats.fp_covered_pairs
+            <= helios_result.eligible_predictive_pairs)
+    assert 0.0 <= helios_result.fp_coverage_pct <= 100.0
+    # The accuracy numerator still counts every correct fusion.
+    assert (helios_result.stats.fp_fusions_correct
+            >= helios_result.stats.fp_covered_pairs)
+
+
+def test_fp_coverage_not_inflated_by_static_pairs():
+    # rijndael's predictor redundantly predicts statically-visible
+    # pairs: the old clamped metric reported 100 % coverage; the fixed
+    # accounting shows these capture (almost) none of the pairs that
+    # actually need prediction.
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    result = simulate(build_workload("rijndael"), config, name="rijndael")
+    assert result.eligible_predictive_pairs > 0
+    assert result.stats.fp_fusions_correct > result.eligible_predictive_pairs
+    assert result.fp_coverage_pct < 100.0
