@@ -8,6 +8,9 @@
     python -m repro experiment fig10 --workloads 657.xz_1,605.mcf --jobs 4
     python -m repro cache                     # inspect the result cache
     python -m repro cache clear               # drop every cached result
+    python -m repro trace                     # inspect the trace store
+    python -m repro trace export dijkstra     # trace -> portable JSON-lines
+    python -m repro bench --quick             # wall-clock perf harness
     python -m repro storage                   # Table II budget
 """
 
@@ -26,7 +29,7 @@ from repro.experiments import (
     figure10, run_suite, table1, table2, table3,
 )
 from repro.workloads import (
-    CATALOG, build_workload, ensure_known, workload_names,
+    CATALOG, TraceStore, build_workload, ensure_known, workload_names,
 )
 
 _EXPERIMENTS = {
@@ -159,6 +162,59 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    store = (TraceStore(args.trace_dir) if args.trace_dir
+             else TraceStore())
+    if args.action == "clear":
+        removed = store.clear()
+        print("removed %d stored trace(s) from %s" % (removed, store.root))
+        return 0
+    if args.action == "export":
+        if not args.workload:
+            raise SystemExit("trace export needs a workload name")
+        if args.workload not in CATALOG:
+            raise SystemExit("unknown workload %r (see `repro workloads`)"
+                             % args.workload)
+        from repro.isa import save_trace
+        trace = build_workload(args.workload)
+        out = args.out or ("%s.trace.jsonl" % args.workload)
+        save_trace(trace, out)
+        print("wrote %d µ-ops to %s (portable JSON-lines)"
+              % (len(trace), out))
+        return 0
+    entries = store.entries()
+    print("trace store: %s" % store.root)
+    print("entries: %d (%.1f KiB)"
+          % (len(entries), store.size_bytes() / 1024.0))
+    for entry in entries:
+        print("  %-20s %8s µ-ops %9d B  %s"
+              % (entry["name"], entry["uops"], entry["bytes"],
+                 entry["file"]))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf import run_bench, write_bench
+    workloads = _workload_list(args.workloads)
+    payload = run_bench(workloads=workloads, quick=args.quick,
+                        max_uops=args.max_uops)
+    path = write_bench(payload, args.output)
+    totals = payload["totals"]
+    print("bench: %d workload(s), modes: %s"
+          % (len(payload["workloads"]), ", ".join(payload["modes"])))
+    print("  trace capture (cold interp) %7.3f s"
+          % totals["trace_build_cold_s"])
+    print("  trace replay  (store load)  %7.3f s  (%.1fx faster)"
+          % (totals["store_load_s"],
+             payload["capture_vs_replay_speedup"] or 0.0))
+    print("  oracle pair extraction      %7.3f s"
+          % totals["oracle_pairs_s"])
+    for mode, seconds in totals["pipeline_run_s"].items():
+        print("  pipeline run %-14s %7.3f s" % (mode, seconds))
+    print("wrote %s" % path)
+    return 0
+
+
 def _cmd_storage(_args) -> int:
     print(helios_storage_budget().report())
     return 0
@@ -206,6 +262,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR "
                             "or ~/.cache/repro)")
     cache.set_defaults(func=_cmd_cache)
+
+    trace = sub.add_parser(
+        "trace", help="inspect/clear the trace store or export a trace")
+    trace.add_argument("action", nargs="?", default="info",
+                       choices=["info", "clear", "export"])
+    trace.add_argument("workload", nargs="?",
+                       help="workload to export (action: export)")
+    trace.add_argument("--out", metavar="FILE",
+                       help="export target (default: <workload>."
+                            "trace.jsonl)")
+    trace.add_argument("--trace-dir", metavar="DIR",
+                       help="trace store directory (default: "
+                            "$REPRO_TRACE_DIR or <cache dir>/traces)")
+    trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock perf harness -> BENCH_pipeline.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke subset (3 workloads, 2 modes)")
+    bench.add_argument("--workloads",
+                       help="comma-separated subset (default: "
+                            "$REPRO_BENCH_WORKLOADS or the "
+                            "representative 12)")
+    bench.add_argument("--max-uops", type=int, default=None, metavar="N",
+                       help="dynamic µ-op cap per trace (default 200000)")
+    bench.add_argument("--output", default="BENCH_pipeline.json",
+                       metavar="FILE", help="output path")
+    bench.set_defaults(func=_cmd_bench)
 
     sub.add_parser("storage", help="print the Table II storage budget") \
         .set_defaults(func=_cmd_storage)

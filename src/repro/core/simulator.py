@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Optional, Union
 
 from repro.config import FusionMode, ProcessorConfig
 from repro.core.results import SimResult
-from repro.fusion.oracle import predictive_pair_set
+from repro.fusion.oracle import cached_oracle_pairs, predictive_pair_set
 from repro.isa.interp import run_program
 from repro.isa.program import Program
 from repro.isa.trace import Trace
@@ -35,6 +35,15 @@ def count_eligible_predictive_pairs(trace: Trace,
         max_distance=config.max_fusion_distance))
 
 
+def _shared_oracle_pairs(trace: Trace, config: ProcessorConfig):
+    """The per-trace cached oracle pairing, for modes that consume it."""
+    if config.fusion_mode in (FusionMode.HELIOS, FusionMode.ORACLE):
+        return cached_oracle_pairs(
+            trace, granularity=config.cache_access_granularity,
+            max_distance=config.max_fusion_distance)
+    return None
+
+
 def simulate(workload: Union[Program, Trace],
              config: Optional[ProcessorConfig] = None,
              name: Optional[str] = None,
@@ -46,7 +55,8 @@ def simulate(workload: Union[Program, Trace],
     """
     config = config or ProcessorConfig()
     trace = run_program(workload) if isinstance(workload, Program) else workload
-    core = PipelineCore(trace, config)
+    core = PipelineCore(trace, config,
+                        oracle_pairs=_shared_oracle_pairs(trace, config))
     stats = core.run(max_cycles=max_cycles)
     # The core already computed the oracle prediction-needing pair set
     # for its coverage accounting; its size is the coverage denominator.

@@ -2,13 +2,21 @@
 jobs across worker processes, backed by the persistent result cache.
 
 The simulations are embarrassingly parallel — each (workload, mode,
-config) job rebuilds its deterministic trace and runs an independent
-:class:`~repro.pipeline.core.PipelineCore` — so the engine simply
-partitions the missing jobs over a ``multiprocessing`` pool.  With
-``jobs=1`` (the default) everything runs sequentially in-process,
+config) job replays its workload's captured trace through an
+independent :class:`~repro.pipeline.core.PipelineCore` — so the engine
+simply partitions the missing jobs over a ``multiprocessing`` pool.
+With ``jobs=1`` (the default) everything runs sequentially in-process,
 which keeps tier-1 tests and determinism untouched; a ``jobs=N`` sweep
 produces bit-identical results because every job is self-contained and
 the pool map preserves job order.
+
+Capture-once/replay-many (the paper's Spike methodology): before any
+workers start, the engine loads each distinct workload trace exactly
+once — in-process memo → persistent trace store → cold interpretation
+— and pre-extracts the shared oracle pair set for modes that consume
+it.  ``fork`` workers then inherit the loaded traces and pair sets
+through copy-on-write; ``spawn`` workers replay the serialized traces
+from the store instead of re-interpreting.
 
 Lookup order per job: process-local memo → persistent disk cache →
 simulate.  Both layers key on the *full* configuration fingerprint, so
@@ -29,6 +37,7 @@ from repro.experiments.cache import (
     cache_enabled_by_default,
     cache_key,
 )
+from repro.fusion.oracle import cached_oracle_pairs
 from repro.workloads import build_workload, ensure_known, workload_names
 
 #: Environment variable supplying the default worker count
@@ -92,11 +101,31 @@ class SweepEngine:
 
     # ------------------------------------------------------------- execute --
 
+    @staticmethod
+    def _preload(jobs: List[Tuple[str, ProcessorConfig]]) -> None:
+        """Capture every distinct workload trace exactly once, and
+        pre-extract the oracle pair sets the jobs will consume.
+
+        Runs in the parent before the pool exists, so ``fork`` workers
+        inherit the loaded traces/pair sets via copy-on-write and
+        replay instead of re-interpreting; ``spawn`` workers reload the
+        same traces from the persistent store.  Repeats are free: the
+        workload memo and the per-trace pair memo both deduplicate.
+        """
+        for name, config in jobs:
+            trace = build_workload(name)
+            if config.fusion_mode in (FusionMode.HELIOS,
+                                      FusionMode.ORACLE):
+                cached_oracle_pairs(
+                    trace, granularity=config.cache_access_granularity,
+                    max_distance=config.max_fusion_distance)
+
     def _execute(self, jobs: List[Tuple[str, ProcessorConfig]]
                  ) -> List[SimResult]:
         workers = min(self.jobs, len(jobs))
         if workers <= 1:
             return [_execute_job(job) for job in jobs]
+        self._preload(jobs)
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None)

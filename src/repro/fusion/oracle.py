@@ -18,8 +18,9 @@ still honours the correctness constraints that any implementation must:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.fusion.idioms import match_idiom
 from repro.fusion.taxonomy import (
@@ -115,19 +116,45 @@ def _eligible_pair(head: MicroOp, tail: MicroOp, tainted: set,
     return True
 
 
-def predictive_pair_set(trace: Sequence[MicroOp],
-                        granularity: int = 64,
-                        max_distance: int = 64) -> set:
-    """``(head_seq, tail_seq)`` of every oracle pair that *needs* a
-    prediction: NCSF pairs plus CSF pairs a static decode window cannot
-    see (different base register or non-contiguous addresses).
+#: Per-trace memo of the unrestricted oracle pairing, keyed by
+#: ``(granularity, max_distance)``.  Weak keys: a trace's cached pairs
+#: die with the trace, so sweeps holding a shared Trace (the trace
+#: store / workload memo) pay for pairing once across every
+#: configuration while one-shot traces cost nothing to track.
+_PAIR_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-    This is the Table III coverage denominator; the pipeline charges
-    the coverage numerator only for committed predicted fusions whose
-    pair is in this set, so coverage is ≤ 100 % by construction.
+
+def cached_oracle_pairs(trace: Sequence[MicroOp],
+                        granularity: int = 64,
+                        max_distance: int = 64) -> List[FusedPair]:
+    """Memoised :func:`oracle_memory_pairs` (unrestricted shape).
+
+    The pairing is a pure function of the trace contents, so the result
+    is cached on the trace *object*.  Non-weakref-able sequences (plain
+    lists of µ-ops) fall back to a direct computation.
     """
-    pairs = oracle_memory_pairs(trace, granularity=granularity,
-                                max_distance=max_distance)
+    key = (granularity, max_distance)
+    try:
+        per_trace = _PAIR_MEMO.get(trace)
+    except TypeError:
+        return oracle_memory_pairs(trace, granularity=granularity,
+                                   max_distance=max_distance)
+    if per_trace is None:
+        per_trace = {}
+        _PAIR_MEMO[trace] = per_trace
+    pairs = per_trace.get(key)
+    if pairs is None:
+        pairs = oracle_memory_pairs(trace, granularity=granularity,
+                                    max_distance=max_distance)
+        per_trace[key] = pairs
+    return pairs
+
+
+def predictive_pairs_from(pairs: Sequence[FusedPair]) -> Set[Tuple[int, int]]:
+    """``(head_seq, tail_seq)`` of every oracle pair in ``pairs`` that
+    *needs* a prediction: NCSF pairs plus CSF pairs a static decode
+    window cannot see (different base register or non-contiguous
+    addresses)."""
     eligible = set()
     for pair in pairs:
         statically_visible = (
@@ -137,6 +164,19 @@ def predictive_pair_set(trace: Sequence[MicroOp],
         if not statically_visible:
             eligible.add((pair.head_seq, pair.tail_seq))
     return eligible
+
+
+def predictive_pair_set(trace: Sequence[MicroOp],
+                        granularity: int = 64,
+                        max_distance: int = 64) -> set:
+    """:func:`predictive_pairs_from` over the (cached) oracle pairing.
+
+    This is the Table III coverage denominator; the pipeline charges
+    the coverage numerator only for committed predicted fusions whose
+    pair is in this set, so coverage is ≤ 100 % by construction.
+    """
+    return predictive_pairs_from(cached_oracle_pairs(
+        trace, granularity=granularity, max_distance=max_distance))
 
 
 def consecutive_memory_pairs(trace: Sequence[MicroOp],
@@ -244,7 +284,7 @@ def analyze_trace(trace: Trace, granularity: int = 64,
     return OracleAnalysis(
         total_uops=len(trace),
         total_memory=trace.num_memory,
-        memory_pairs=oracle_memory_pairs(trace, granularity=granularity,
+        memory_pairs=cached_oracle_pairs(trace, granularity=granularity,
                                          max_distance=max_distance),
         consecutive_pairs=consecutive,
         other_pairs=oracle_other_pairs(trace, exclude=consecutive),

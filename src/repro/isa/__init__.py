@@ -27,10 +27,13 @@ from repro.isa.registers import (
 )
 from repro.isa.trace import MicroOp, Trace
 from repro.isa.trace_io import (
+    TraceFormatError,
     from_spike_log,
     load_spike_log,
     load_trace,
+    load_trace_binary,
     save_trace,
+    save_trace_binary,
 )
 
 __all__ = [
@@ -40,7 +43,10 @@ __all__ = [
     "from_spike_log",
     "load_spike_log",
     "load_trace",
+    "load_trace_binary",
     "save_trace",
+    "save_trace_binary",
+    "TraceFormatError",
     "ExecutionError",
     "FP_REG_BASE",
     "Instruction",

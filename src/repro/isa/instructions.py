@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 
@@ -169,7 +170,14 @@ class Instruction:
     def is_branch(self) -> bool:
         return self.opclass is OpClass.BRANCH
 
-    @property
+    # ``cached_property`` (not ``property``): one static instruction is
+    # shared by every dynamic µ-op at its PC, and µ-op construction
+    # reads both attributes — computing them once per *static*
+    # instruction instead of once per *dynamic* µ-op is a measurable
+    # win for trace capture and binary trace replay.  (Safe on a frozen
+    # dataclass: the cache writes to ``__dict__`` directly.)
+
+    @cached_property
     def sources(self) -> Tuple[int, ...]:
         """Source register indices, with x0 filtered out (never a dep)."""
         srcs = []
@@ -179,7 +187,7 @@ class Instruction:
             srcs.append(self.rs2)
         return tuple(srcs)
 
-    @property
+    @cached_property
     def destination(self) -> Optional[int]:
         """Destination register index, or None (writes to x0 discarded)."""
         if self.rd is None or self.rd == 0:

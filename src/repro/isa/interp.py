@@ -160,19 +160,7 @@ class Interpreter:
             return next_index
 
         if opclass is OpClass.BRANCH:
-            a, b = regs[inst.rs1], regs[inst.rs2]
-            if mnem == "beq":
-                taken = a == b
-            elif mnem == "bne":
-                taken = a != b
-            elif mnem == "blt":
-                taken = _signed(a) < _signed(b)
-            elif mnem == "bge":
-                taken = _signed(a) >= _signed(b)
-            elif mnem == "bltu":
-                taken = a < b
-            else:  # bgeu
-                taken = a >= b
+            taken = _BRANCH_OPS[mnem](regs[inst.rs1], regs[inst.rs2])
             target = inst.target if taken else next_index
             self.uops.append(MicroOp(
                 len(self.uops), inst, taken=taken,
@@ -213,144 +201,162 @@ class Interpreter:
         regs = self.regs
         a = regs[inst.rs1] if inst.rs1 is not None else 0
         b = regs[inst.rs2] if inst.rs2 is not None else inst.imm & _MASK64
-        imm = inst.imm
-
-        if mnem == "add":
-            result = a + b
-        elif mnem == "addi":
-            result = a + imm
-        elif mnem == "sub":
-            result = a - b
-        elif mnem == "and" or mnem == "andi":
-            result = a & (b if mnem == "and" else imm & _MASK64)
-        elif mnem == "or" or mnem == "ori":
-            result = a | (b if mnem == "or" else imm & _MASK64)
-        elif mnem == "xor" or mnem == "xori":
-            result = a ^ (b if mnem == "xor" else imm & _MASK64)
-        elif mnem == "sll":
-            result = a << (b & 63)
-        elif mnem == "slli":
-            result = a << (imm & 63)
-        elif mnem == "srl":
-            result = a >> (b & 63)
-        elif mnem == "srli":
-            result = a >> (imm & 63)
-        elif mnem == "sra":
-            result = _signed(a) >> (b & 63)
-        elif mnem == "srai":
-            result = _signed(a) >> (imm & 63)
-        elif mnem == "slt" or mnem == "slti":
-            rhs = _signed(b) if mnem == "slt" else imm
-            result = 1 if _signed(a) < rhs else 0
-        elif mnem == "sltu" or mnem == "sltiu":
-            rhs = b if mnem == "sltu" else imm & _MASK64
-            result = 1 if a < rhs else 0
-        elif mnem == "addw" or mnem == "addiw":
-            rhs = b if mnem == "addw" else imm
-            result = _sext32(a + rhs)
-        elif mnem == "subw":
-            result = _sext32(a - b)
-        elif mnem == "sllw" or mnem == "slliw":
-            sh = (b if mnem == "sllw" else imm) & 31
-            result = _sext32(a << sh)
-        elif mnem == "srlw" or mnem == "srliw":
-            sh = (b if mnem == "srlw" else imm) & 31
-            result = _sext32((a & _MASK32) >> sh)
-        elif mnem == "sraw" or mnem == "sraiw":
-            sh = (b if mnem == "sraw" else imm) & 31
-            result = _sext32(_signed32(a) >> sh)
-        elif mnem == "lui":
-            result = _sext32(imm << 12)
-        elif mnem == "auipc":
-            result = inst.pc + (imm << 12)
-        elif mnem in ("mul", "mulw"):
-            product = _signed(a) * _signed(b)
-            result = _sext32(product) if mnem == "mulw" else product
-        elif mnem == "mulh":
-            result = (_signed(a) * _signed(b)) >> 64
-        elif mnem == "mulhu":
-            result = (a * b) >> 64
-        elif mnem == "mulhsu":
-            result = (_signed(a) * b) >> 64
-        elif mnem in ("div", "divw", "divu", "divuw", "rem", "remw", "remu", "remuw"):
-            result = self._divide(mnem, a, b)
-        elif mnem.startswith("f"):
+        handler = _COMPUTE_OPS.get(mnem)
+        if handler is not None:
+            self._write_reg(inst.rd, handler(a, b, inst.imm, inst) & _MASK64)
+            return
+        if mnem[0] == "f":
             self._execute_fp(inst, mnem)
             return
-        else:
-            raise ExecutionError("unimplemented mnemonic %r" % mnem)
-        self._write_reg(inst.rd, result & _MASK64)
+        raise ExecutionError("unimplemented mnemonic %r" % mnem)
 
     @staticmethod
     def _divide(mnem: str, a: int, b: int) -> int:
-        wordy = mnem.endswith("w")
-        unsigned = "u" in mnem[3:] or mnem in ("divu", "remu", "divuw", "remuw")
-        if wordy:
-            a = (a & _MASK32) if unsigned else _signed32(a) & _MASK64
-            b = (b & _MASK32) if unsigned else _signed32(b) & _MASK64
-        lhs = a if unsigned else _signed(a & _MASK64)
-        rhs = b if unsigned else _signed(b & _MASK64)
-        is_rem = mnem.startswith("rem")
-        if rhs == 0:
-            result = lhs if is_rem else -1  # RISC-V divide-by-zero semantics
-        else:
-            quotient = abs(lhs) // abs(rhs)
-            if (lhs < 0) != (rhs < 0):
-                quotient = -quotient
-            result = lhs - quotient * rhs if is_rem else quotient
-        return _sext32(result) if wordy else result & _MASK64
+        return _divide(mnem, a, b)
 
     def _execute_fp(self, inst: Instruction, mnem: str) -> None:
-        regs = self.regs
-        if mnem == "fcvt.d.l":
-            self._write_reg(inst.rd, _double_to_bits(float(_signed(regs[inst.rs1]))))
-            return
-        if mnem == "fcvt.d.w":
-            self._write_reg(inst.rd, _double_to_bits(float(_signed32(regs[inst.rs1]))))
-            return
-        if mnem in ("fcvt.l.d", "fcvt.w.d"):
-            value = int(_bits_to_double(regs[inst.rs1]))
-            self._write_reg(inst.rd, value & _MASK64)
-            return
-        a = _bits_to_double(regs[inst.rs1]) if inst.rs1 is not None else 0.0
-        b = _bits_to_double(regs[inst.rs2]) if inst.rs2 is not None else 0.0
-        if mnem in ("feq.d", "flt.d", "fle.d"):
-            if mnem == "feq.d":
-                flag = a == b
-            elif mnem == "flt.d":
-                flag = a < b
-            else:
-                flag = a <= b
-            self._write_reg(inst.rd, 1 if flag else 0)
-            return
-        base = mnem.split(".")[0]
-        if base in ("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"):
-            if base == "fadd":
-                result = a + b
-            elif base == "fsub":
-                result = a - b
-            elif base == "fmul":
-                result = a * b
-            elif base == "fdiv":
-                result = a / b if b != 0.0 else float("inf")
-            elif base == "fmin":
-                result = min(a, b)
-            else:
-                result = max(a, b)
-            self._write_reg(inst.rd, _double_to_bits(result))
-            return
-        if mnem == "fsgnj.d":
-            bits_a = regs[inst.rs1]
-            bits_b = regs[inst.rs2]
-            self._write_reg(inst.rd, (bits_a & ((1 << 63) - 1)) | (bits_b & (1 << 63)))
-            return
-        if mnem == "fabs.d":
-            self._write_reg(inst.rd, regs[inst.rs1] & ((1 << 63) - 1))
-            return
-        if mnem == "fneg.d":
-            self._write_reg(inst.rd, regs[inst.rs1] ^ (1 << 63))
-            return
-        raise ExecutionError("unimplemented FP mnemonic %r" % mnem)
+        handler = _FP_OPS.get(mnem)
+        if handler is None:
+            raise ExecutionError("unimplemented FP mnemonic %r" % mnem)
+        handler(self, inst)
+
+
+# -- dispatch tables ---------------------------------------------------------
+#
+# One entry per mnemonic replaces the former if/elif chains: execution
+# becomes a single dict probe regardless of where the mnemonic used to
+# sit in the chain, which is the interpreter's hottest path during
+# cold trace capture.
+
+def _divide(mnem: str, a: int, b: int) -> int:
+    wordy = mnem.endswith("w")
+    unsigned = "u" in mnem[3:] or mnem in ("divu", "remu", "divuw", "remuw")
+    if wordy:
+        a = (a & _MASK32) if unsigned else _signed32(a) & _MASK64
+        b = (b & _MASK32) if unsigned else _signed32(b) & _MASK64
+    lhs = a if unsigned else _signed(a & _MASK64)
+    rhs = b if unsigned else _signed(b & _MASK64)
+    is_rem = mnem.startswith("rem")
+    if rhs == 0:
+        result = lhs if is_rem else -1  # RISC-V divide-by-zero semantics
+    else:
+        quotient = abs(lhs) // abs(rhs)
+        if (lhs < 0) != (rhs < 0):
+            quotient = -quotient
+        result = lhs - quotient * rhs if is_rem else quotient
+    return _sext32(result) if wordy else result & _MASK64
+
+
+#: Branch comparators: mnemonic -> (rs1_value, rs2_value) -> taken.
+_BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+#: Integer compute semantics: mnemonic -> (a, b, imm, inst) -> result.
+#: ``a`` is the rs1 value (0 if absent); ``b`` is the rs2 value, or
+#: ``imm & _MASK64`` for immediate forms.  The caller masks the result.
+_COMPUTE_OPS = {
+    "add": lambda a, b, imm, inst: a + b,
+    "addi": lambda a, b, imm, inst: a + imm,
+    "sub": lambda a, b, imm, inst: a - b,
+    "and": lambda a, b, imm, inst: a & b,
+    "andi": lambda a, b, imm, inst: a & (imm & _MASK64),
+    "or": lambda a, b, imm, inst: a | b,
+    "ori": lambda a, b, imm, inst: a | (imm & _MASK64),
+    "xor": lambda a, b, imm, inst: a ^ b,
+    "xori": lambda a, b, imm, inst: a ^ (imm & _MASK64),
+    "sll": lambda a, b, imm, inst: a << (b & 63),
+    "slli": lambda a, b, imm, inst: a << (imm & 63),
+    "srl": lambda a, b, imm, inst: a >> (b & 63),
+    "srli": lambda a, b, imm, inst: a >> (imm & 63),
+    "sra": lambda a, b, imm, inst: _signed(a) >> (b & 63),
+    "srai": lambda a, b, imm, inst: _signed(a) >> (imm & 63),
+    "slt": lambda a, b, imm, inst: 1 if _signed(a) < _signed(b) else 0,
+    "slti": lambda a, b, imm, inst: 1 if _signed(a) < imm else 0,
+    "sltu": lambda a, b, imm, inst: 1 if a < b else 0,
+    "sltiu": lambda a, b, imm, inst: 1 if a < (imm & _MASK64) else 0,
+    "addw": lambda a, b, imm, inst: _sext32(a + b),
+    "addiw": lambda a, b, imm, inst: _sext32(a + imm),
+    "subw": lambda a, b, imm, inst: _sext32(a - b),
+    "sllw": lambda a, b, imm, inst: _sext32(a << (b & 31)),
+    "slliw": lambda a, b, imm, inst: _sext32(a << (imm & 31)),
+    "srlw": lambda a, b, imm, inst: _sext32((a & _MASK32) >> (b & 31)),
+    "srliw": lambda a, b, imm, inst: _sext32((a & _MASK32) >> (imm & 31)),
+    "sraw": lambda a, b, imm, inst: _sext32(_signed32(a) >> (b & 31)),
+    "sraiw": lambda a, b, imm, inst: _sext32(_signed32(a) >> (imm & 31)),
+    "lui": lambda a, b, imm, inst: _sext32(imm << 12),
+    "auipc": lambda a, b, imm, inst: inst.pc + (imm << 12),
+    "mul": lambda a, b, imm, inst: _signed(a) * _signed(b),
+    "mulw": lambda a, b, imm, inst: _sext32(_signed(a) * _signed(b)),
+    "mulh": lambda a, b, imm, inst: (_signed(a) * _signed(b)) >> 64,
+    "mulhu": lambda a, b, imm, inst: (a * b) >> 64,
+    "mulhsu": lambda a, b, imm, inst: (_signed(a) * b) >> 64,
+}
+for _name in ("div", "divw", "divu", "divuw",
+              "rem", "remw", "remu", "remuw"):
+    _COMPUTE_OPS[_name] = (
+        lambda m: lambda a, b, imm, inst: _divide(m, a, b))(_name)
+del _name
+
+
+# -- FP dispatch -------------------------------------------------------------
+
+def _fp_read(interp: "Interpreter", index: Optional[int]) -> float:
+    return _bits_to_double(interp.regs[index]) if index is not None else 0.0
+
+
+def _fp_arith(op):
+    def handler(interp: "Interpreter", inst: Instruction) -> None:
+        result = op(_fp_read(interp, inst.rs1), _fp_read(interp, inst.rs2))
+        interp._write_reg(inst.rd, _double_to_bits(result))
+    return handler
+
+
+def _fp_compare(op):
+    def handler(interp: "Interpreter", inst: Instruction) -> None:
+        flag = op(_fp_read(interp, inst.rs1), _fp_read(interp, inst.rs2))
+        interp._write_reg(inst.rd, 1 if flag else 0)
+    return handler
+
+
+def _fp_cvt_to_int(interp: "Interpreter", inst: Instruction) -> None:
+    interp._write_reg(
+        inst.rd, int(_bits_to_double(interp.regs[inst.rs1])) & _MASK64)
+
+
+#: FP semantics: mnemonic -> (interpreter, inst) -> None (writes rd).
+_FP_OPS = {
+    "fcvt.d.l": lambda interp, inst: interp._write_reg(
+        inst.rd, _double_to_bits(float(_signed(interp.regs[inst.rs1])))),
+    "fcvt.d.w": lambda interp, inst: interp._write_reg(
+        inst.rd, _double_to_bits(float(_signed32(interp.regs[inst.rs1])))),
+    "fcvt.l.d": _fp_cvt_to_int,
+    "fcvt.w.d": _fp_cvt_to_int,
+    "feq.d": _fp_compare(lambda a, b: a == b),
+    "flt.d": _fp_compare(lambda a, b: a < b),
+    "fle.d": _fp_compare(lambda a, b: a <= b),
+    "fsgnj.d": lambda interp, inst: interp._write_reg(
+        inst.rd, (interp.regs[inst.rs1] & ((1 << 63) - 1))
+        | (interp.regs[inst.rs2] & (1 << 63))),
+    "fabs.d": lambda interp, inst: interp._write_reg(
+        inst.rd, interp.regs[inst.rs1] & ((1 << 63) - 1)),
+    "fneg.d": lambda interp, inst: interp._write_reg(
+        inst.rd, interp.regs[inst.rs1] ^ (1 << 63)),
+}
+for _suffix in (".d", ".s"):
+    _FP_OPS["fadd" + _suffix] = _fp_arith(lambda a, b: a + b)
+    _FP_OPS["fsub" + _suffix] = _fp_arith(lambda a, b: a - b)
+    _FP_OPS["fmul" + _suffix] = _fp_arith(lambda a, b: a * b)
+    _FP_OPS["fdiv" + _suffix] = _fp_arith(
+        lambda a, b: a / b if b != 0.0 else float("inf"))
+_FP_OPS["fmin.d"] = _fp_arith(min)
+_FP_OPS["fmax.d"] = _fp_arith(max)
+del _suffix
 
 
 def run_program(program: Program, max_uops: int = 2_000_000) -> Trace:

@@ -111,11 +111,22 @@ class MicroOp:
 
 
 class Trace:
-    """An ordered dynamic µ-op stream plus summary statistics."""
+    """An ordered dynamic µ-op stream plus summary statistics.
+
+    Traces are captured once and replayed many times (the trace store
+    under :mod:`repro.workloads.trace_store` shares one instance across
+    every configuration of a sweep), so the summary statistics are
+    memoised on first use; ``__weakref__`` is kept in the slots so
+    per-trace analysis caches can key on the instance without pinning
+    it.
+    """
+
+    __slots__ = ("uops", "name", "_opclass_counts", "__weakref__")
 
     def __init__(self, uops: List[MicroOp], name: str = "trace"):
         self.uops = uops
         self.name = name
+        self._opclass_counts: Optional[Dict[OpClass, int]] = None
 
     def __len__(self) -> int:
         return len(self.uops)
@@ -127,26 +138,28 @@ class Trace:
         return iter(self.uops)
 
     def opclass_counts(self) -> Dict[OpClass, int]:
-        counts: Dict[OpClass, int] = {}
-        for uop in self.uops:
-            counts[uop.opclass] = counts.get(uop.opclass, 0) + 1
-        return counts
+        if self._opclass_counts is None:
+            counts: Dict[OpClass, int] = {}
+            for uop in self.uops:
+                counts[uop.opclass] = counts.get(uop.opclass, 0) + 1
+            self._opclass_counts = counts
+        return dict(self._opclass_counts)
 
     @property
     def num_loads(self) -> int:
-        return sum(1 for u in self.uops if u.is_load)
+        return self.opclass_counts().get(OpClass.LOAD, 0)
 
     @property
     def num_stores(self) -> int:
-        return sum(1 for u in self.uops if u.is_store)
+        return self.opclass_counts().get(OpClass.STORE, 0)
 
     @property
     def num_memory(self) -> int:
-        return sum(1 for u in self.uops if u.is_memory)
+        return self.num_loads + self.num_stores
 
     @property
     def num_branches(self) -> int:
-        return sum(1 for u in self.uops if u.is_branch)
+        return self.opclass_counts().get(OpClass.BRANCH, 0)
 
     def memory_fraction(self) -> float:
         """Fraction of dynamic µ-ops that are loads or stores."""

@@ -12,13 +12,23 @@ programs:
   :func:`load_trace` round-trip a :class:`~repro.isa.trace.Trace`
   through a simple line-per-µ-op format so traces can be captured once
   and replayed across configurations.
+* **Compact binary traces** — :func:`save_trace_binary` /
+  :func:`load_trace_binary` are the fast path used by the persistent
+  trace store (:mod:`repro.workloads.trace_store`): struct-packed
+  fixed-width µ-op records referencing an interned static-instruction
+  table, zlib-compressed and CRC-checked.  JSON-lines stays the
+  portable interchange format; the binary format is a cache encoding
+  and may change between versions (readers reject unknown versions).
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import Iterable, List, Optional, TextIO, Union
+import struct
+import sys
+import zlib
+from typing import BinaryIO, Iterable, List, Optional, TextIO, Union
 
 from repro.isa.decoder import decode
 from repro.isa.instructions import Instruction, opclass_for
@@ -40,6 +50,13 @@ class TraceFormatError(ValueError):
     """Raised for unparseable trace inputs."""
 
 
+#: Version of the JSON-lines interchange format written by
+#: :func:`save_trace`.  Bump on any incompatible record change;
+#: :func:`load_trace` rejects files claiming a different version
+#: instead of silently misparsing them.
+TRACE_JSON_VERSION = 1
+
+
 def from_spike_log(lines: Iterable[str], name: str = "spike",
                    max_uops: Optional[int] = None) -> Trace:
     """Build a :class:`Trace` from a Spike commit log.
@@ -59,7 +76,12 @@ def from_spike_log(lines: Iterable[str], name: str = "spike",
         mem = _SPIKE_MEM.search(match.group("rest"))
         addr = int(mem.group("addr"), 16) if mem else 0
         records.append((pc, word, addr))
-        if max_uops is not None and len(records) > max_uops:
+        if max_uops is not None and len(records) == max_uops + 1:
+            # Collect exactly ONE record beyond the cap on purpose: the
+            # direction/target of the last kept µ-op, if it is a
+            # control transfer, is resolved from the *next* committed
+            # PC.  The lookahead record itself never becomes a µ-op —
+            # the emission loop below stops at ``max_uops``.
             break
 
     uops: List[MicroOp] = []
@@ -94,7 +116,8 @@ def save_trace(trace: Trace, target: Union[str, TextIO]) -> None:
     own = isinstance(target, str)
     handle = open(target, "w") if own else target
     try:
-        handle.write(json.dumps({"format": "repro-trace", "version": 1,
+        handle.write(json.dumps({"format": "repro-trace",
+                                 "version": TRACE_JSON_VERSION,
                                  "name": trace.name}) + "\n")
         for uop in trace:
             inst = uop.inst
@@ -122,6 +145,11 @@ def load_trace(source: Union[str, TextIO]) -> Trace:
         header = json.loads(handle.readline())
         if header.get("format") != "repro-trace":
             raise TraceFormatError("not a repro trace file")
+        version = header.get("version")
+        if version != TRACE_JSON_VERSION:
+            raise TraceFormatError(
+                "unsupported repro-trace version %r (this reader "
+                "understands version %d)" % (version, TRACE_JSON_VERSION))
         static_cache = {}
         uops: List[MicroOp] = []
         for line in handle:
@@ -147,3 +175,160 @@ def load_trace(source: Union[str, TextIO]) -> Trace:
     finally:
         if own:
             handle.close()
+
+
+# ------------------------------------------------------------------ binary --
+#
+# Layout (all little-endian)::
+#
+#     magic      4s   b"RPTB"
+#     version    H    TRACE_BINARY_VERSION
+#     name_len   H    + UTF-8 name bytes
+#     num_insts  I    static-instruction table length
+#     num_uops   I    µ-op record count
+#     body_len   I    uncompressed body length in bytes
+#     body_crc   I    zlib.crc32 of the uncompressed body
+#     body            zlib-compressed
+#
+# The body is the static table (variable-width records: mnemonic,
+# registers, immediate, branch target, pc) followed by ``num_uops``
+# fixed-width µ-op records (``_UOP_STRUCT``) that reference static
+# entries by index — the binary analogue of the JSON loader's
+# ``static_cache`` interning, made explicit in the format.
+
+TRACE_BINARY_MAGIC = b"RPTB"
+TRACE_BINARY_VERSION = 1
+
+_HEADER_STRUCT = struct.Struct("<4sHHIIII")
+#: One µ-op: static-table index, effective address, resolved target pc,
+#: flags (bit 0: branch/jump taken).
+_UOP_STRUCT = struct.Struct("<IQQB")
+#: One static instruction minus its mnemonic: rd/rs1/rs2 (-1 = none),
+#: immediate, branch-target index (-1 = none), pc.
+_INST_STRUCT = struct.Struct("<bbbqqQ")
+
+
+def _encode_body(trace: Trace) -> "tuple[bytes, List[Instruction]]":
+    """The uncompressed body plus the interned static table."""
+    table: List[Instruction] = []
+    index_of: dict = {}
+    chunks: List[bytes] = []
+    uop_records: List[bytes] = []
+    for uop in trace:
+        inst = uop.inst
+        index = index_of.get(id(inst))
+        if index is None:
+            # Distinct objects with equal fields intern to one entry.
+            key = (inst.mnemonic, inst.rd, inst.rs1, inst.rs2,
+                   inst.imm, inst.target, inst.pc)
+            index = index_of.get(key)
+            if index is None:
+                index = len(table)
+                table.append(inst)
+                index_of[key] = index
+            index_of[id(inst)] = index
+        flags = 1 if uop.taken else 0
+        uop_records.append(_UOP_STRUCT.pack(index, uop.addr,
+                                            uop.target_pc, flags))
+    for inst in table:
+        mnemonic = inst.mnemonic.encode("ascii")
+        chunks.append(struct.pack("<B", len(mnemonic)))
+        chunks.append(mnemonic)
+        chunks.append(_INST_STRUCT.pack(
+            -1 if inst.rd is None else inst.rd,
+            -1 if inst.rs1 is None else inst.rs1,
+            -1 if inst.rs2 is None else inst.rs2,
+            inst.imm,
+            -1 if inst.target is None else inst.target,
+            inst.pc))
+    chunks.extend(uop_records)
+    return b"".join(chunks), table
+
+
+def save_trace_binary(trace: Trace, target: Union[str, BinaryIO]) -> None:
+    """Write a trace in the compact binary cache format."""
+    body, table = _encode_body(trace)
+    name = trace.name.encode("utf-8")
+    header = _HEADER_STRUCT.pack(
+        TRACE_BINARY_MAGIC, TRACE_BINARY_VERSION, len(name),
+        len(table), len(trace), len(body), zlib.crc32(body))
+    payload = header + name + zlib.compress(body, 1)
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            handle.write(payload)
+    else:
+        target.write(payload)
+
+
+def load_trace_binary(source: Union[str, bytes, BinaryIO]) -> Trace:
+    """Read a trace written by :func:`save_trace_binary`.
+
+    Raises :class:`TraceFormatError` on any structural problem — bad
+    magic, unknown version, truncation, or a CRC mismatch — so callers
+    (the trace store) can treat the file as a cache miss and rebuild.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            payload = handle.read()
+    elif isinstance(source, bytes):
+        payload = source
+    else:
+        payload = source.read()
+
+    if len(payload) < _HEADER_STRUCT.size:
+        raise TraceFormatError("truncated binary trace header")
+    (magic, version, name_len, num_insts, num_uops,
+     body_len, body_crc) = _HEADER_STRUCT.unpack_from(payload)
+    if magic != TRACE_BINARY_MAGIC:
+        raise TraceFormatError("not a repro binary trace")
+    if version != TRACE_BINARY_VERSION:
+        raise TraceFormatError(
+            "unsupported binary trace version %d (this reader "
+            "understands version %d)" % (version, TRACE_BINARY_VERSION))
+    offset = _HEADER_STRUCT.size
+    name = payload[offset:offset + name_len].decode("utf-8")
+    try:
+        body = zlib.decompress(payload[offset + name_len:])
+    except zlib.error as exc:
+        raise TraceFormatError("corrupt binary trace body: %s" % exc)
+    if len(body) != body_len or zlib.crc32(body) != body_crc:
+        raise TraceFormatError("binary trace body failed CRC check")
+
+    from repro.isa.instructions import MEM_SIZE
+    table: List[Instruction] = []
+    pos = 0
+    try:
+        for _ in range(num_insts):
+            mnem_len = body[pos]
+            pos += 1
+            mnemonic = sys.intern(
+                body[pos:pos + mnem_len].decode("ascii"))
+            pos += mnem_len
+            rd, rs1, rs2, imm, target, pc = _INST_STRUCT.unpack_from(
+                body, pos)
+            pos += _INST_STRUCT.size
+            table.append(Instruction(
+                mnemonic=mnemonic,
+                rd=None if rd < 0 else rd,
+                rs1=None if rs1 < 0 else rs1,
+                rs2=None if rs2 < 0 else rs2,
+                imm=imm,
+                target=None if target < 0 else target,
+                opclass=opclass_for(mnemonic),
+                mem_size=MEM_SIZE.get(mnemonic, 0),
+                pc=pc))
+    except (IndexError, struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise TraceFormatError("corrupt static table: %s" % exc)
+    if pos + num_uops * _UOP_STRUCT.size != len(body):
+        raise TraceFormatError("binary trace µ-op section length mismatch")
+
+    uops: List[MicroOp] = []
+    append = uops.append
+    try:
+        for seq, (index, addr, target_pc, flags) in enumerate(
+                _UOP_STRUCT.iter_unpack(body[pos:])):
+            append(MicroOp(seq, table[index], addr=addr,
+                           taken=bool(flags & 1), target_pc=target_pc))
+    except IndexError:
+        raise TraceFormatError("µ-op references unknown static entry")
+    return Trace(uops, name=name)

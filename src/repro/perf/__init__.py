@@ -1,0 +1,26 @@
+"""Wall-clock performance harness (``repro bench``).
+
+Times the stages every sweep pays for — cold trace capture, trace
+store serialization/replay, oracle pair extraction, and the
+cycle-level pipeline run per fusion mode — and emits
+``BENCH_pipeline.json`` so each PR's perf delta is measurable against
+the accumulated trajectory.
+"""
+
+from repro.perf.harness import (
+    BENCH_OUTPUT_DEFAULT,
+    DEFAULT_BENCH_WORKLOADS,
+    QUICK_BENCH_WORKLOADS,
+    bench_workloads,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_OUTPUT_DEFAULT",
+    "DEFAULT_BENCH_WORKLOADS",
+    "QUICK_BENCH_WORKLOADS",
+    "bench_workloads",
+    "run_bench",
+    "write_bench",
+]

@@ -1,0 +1,196 @@
+"""The measurements behind ``repro bench``.
+
+Every number answers one question about the hot path a sweep pays for:
+
+* ``trace_build_cold_s`` — interpret the kernel from scratch (what
+  every job used to cost before the trace store existed).
+* ``store_save_s`` / ``store_load_s`` — serialize the captured trace
+  into the binary store and replay it back (what a warm job costs).
+* ``oracle_pairs_s`` — one unrestricted oracle pairing pass (shared
+  across the Helios/Oracle configurations of a sweep).
+* ``modes[<mode>].run_s`` — one :meth:`PipelineCore.run` under each
+  fusion mode, the irreducible per-configuration cost.
+
+Timings use ``time.perf_counter`` around single runs — this is a
+trend harness (is the hot path getting faster PR over PR?), not a
+microbenchmark; run-to-run noise of a few percent is expected and
+fine at the multi-second scale the totals live at.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.fusion.oracle import oracle_memory_pairs, predictive_pairs_from
+from repro.isa.interp import run_program
+from repro.pipeline.core import PipelineCore
+from repro.workloads import (
+    DEFAULT_MAX_UOPS,
+    TraceStore,
+    build_program,
+    ensure_known,
+    workload_names,
+)
+
+#: Default output filename (repo-root relative when run from the CLI).
+BENCH_OUTPUT_DEFAULT = "BENCH_pipeline.json"
+
+#: Representative subset mirroring benchmarks/conftest.py: store-bound,
+#: struct-walk, pointer-chase, Others-dominated, DBR, branchy, crypto.
+DEFAULT_BENCH_WORKLOADS = [
+    "600.perlbench_1", "602.gcc_1", "605.mcf", "623.xalancbmk",
+    "657.xz_1", "657.xz_2", "bitcount", "dijkstra", "qsort",
+    "rijndael", "sha", "typeset",
+]
+
+#: CI smoke subset (``repro bench --quick``).
+QUICK_BENCH_WORKLOADS = ["605.mcf", "657.xz_1", "dijkstra"]
+
+_BENCH_MODES = [
+    FusionMode.NONE, FusionMode.RISCV, FusionMode.CSF_SBR,
+    FusionMode.RISCV_PP, FusionMode.HELIOS, FusionMode.ORACLE,
+]
+_QUICK_MODES = [FusionMode.NONE, FusionMode.HELIOS]
+
+
+def bench_workloads(selection: Optional[str] = None,
+                    quick: bool = False) -> List[str]:
+    """Workload list from an explicit selection, ``$REPRO_BENCH_WORKLOADS``,
+    or the (quick) default subset — validated against the catalog."""
+    if selection is None:
+        selection = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if selection.lower() == "all":
+        return workload_names()
+    if selection:
+        return ensure_known([name.strip() for name in selection.split(",")
+                             if name.strip()])
+    return list(QUICK_BENCH_WORKLOADS if quick else DEFAULT_BENCH_WORKLOADS)
+
+
+def _timed(fn):
+    # Collect before the clock starts: a trace is ~6 containers per
+    # µ-op, so whichever stage happens to trigger a gen-2 GC pass
+    # would otherwise absorb a multi-ms pause that belongs to the
+    # *previous* stage's garbage.
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_bench(workloads: Optional[List[str]] = None,
+              quick: bool = False,
+              max_uops: Optional[int] = None,
+              config: Optional[ProcessorConfig] = None) -> Dict:
+    """Run the harness; returns the ``BENCH_pipeline.json`` payload."""
+    names = (ensure_known(list(workloads)) if workloads is not None
+             else bench_workloads(quick=quick))
+    cap = max_uops if max_uops is not None else DEFAULT_MAX_UOPS
+    base = config or ProcessorConfig()
+    modes = _QUICK_MODES if quick else _BENCH_MODES
+
+    per_workload: Dict[str, Dict] = {}
+    totals = {
+        "trace_build_cold_s": 0.0,
+        "store_save_s": 0.0,
+        "store_load_s": 0.0,
+        "oracle_pairs_s": 0.0,
+        "pipeline_run_s": {mode.value: 0.0 for mode in modes},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        store = TraceStore(tmp)
+        for name in names:
+            program = build_program(name)
+            trace, build_s = _timed(
+                lambda: run_program(program, max_uops=cap))
+            _, save_s = _timed(
+                lambda: store.put(name, cap, trace, salt="bench"))
+            replay, load_s = _timed(
+                lambda: store.get(name, cap, salt="bench"))
+            assert replay is not None and len(replay) == len(trace)
+            pairs, pairs_s = _timed(lambda: oracle_memory_pairs(
+                trace, granularity=base.cache_access_granularity,
+                max_distance=base.max_fusion_distance))
+            predictive = predictive_pairs_from(pairs)
+
+            row: Dict = {
+                "uops": len(trace),
+                "trace_build_cold_s": round(build_s, 4),
+                "store_save_s": round(save_s, 4),
+                "store_load_s": round(load_s, 4),
+                "oracle_pairs_s": round(pairs_s, 4),
+                "oracle_pairs": len(pairs),
+                "predictive_pairs": len(predictive),
+                "modes": {},
+            }
+            totals["trace_build_cold_s"] += build_s
+            totals["store_save_s"] += save_s
+            totals["store_load_s"] += load_s
+            totals["oracle_pairs_s"] += pairs_s
+
+            for mode in modes:
+                full = base.with_mode(mode)
+                core = PipelineCore(
+                    trace, full,
+                    oracle_pairs=pairs if mode in (FusionMode.HELIOS,
+                                                   FusionMode.ORACLE)
+                    else None)
+                stats, run_s = _timed(core.run)
+                row["modes"][mode.value] = {
+                    "run_s": round(run_s, 4),
+                    "ipc": round(stats.ipc, 4),
+                    "cycles": stats.cycles,
+                }
+                totals["pipeline_run_s"][mode.value] += run_s
+            per_workload[name] = row
+
+    capture = totals["trace_build_cold_s"]
+    replay_total = totals["store_load_s"]
+    payload = {
+        "schema": 1,
+        "generated_by": "repro bench",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv_quick": quick,
+        "max_uops": cap,
+        "modes": [mode.value for mode in modes],
+        "workloads": per_workload,
+        "totals": {
+            key: (round(value, 4) if isinstance(value, float) else
+                  {k: round(v, 4) for k, v in value.items()})
+            for key, value in totals.items()
+        },
+        #: Headline: how much cheaper a warm (replayed) trace is than a
+        #: cold (re-interpreted) one — the sweep front-end speedup.
+        "capture_vs_replay_speedup": round(
+            capture / replay_total, 2) if replay_total > 0 else None,
+    }
+    return payload
+
+
+def write_bench(payload: Dict, output: str = BENCH_OUTPUT_DEFAULT) -> str:
+    """Write the payload as pretty JSON; returns the path."""
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return output
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.perf.harness``)."""
+    from repro.cli import main as cli_main
+    return cli_main(["bench"] + list(argv or sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

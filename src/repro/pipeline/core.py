@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import FusionMode, ProcessorConfig
-from repro.fusion.oracle import oracle_memory_pairs, predictive_pair_set
+from repro.fusion.oracle import oracle_memory_pairs, predictive_pairs_from
 from repro.fusion.taxonomy import span
 from repro.fusion.window import ConsecutiveFusionWindow
 from repro.isa.instructions import EXECUTION_LATENCY, OpClass
@@ -122,9 +122,18 @@ class CoreStats:
 
 
 class PipelineCore:
-    """One simulated core bound to one dynamic trace."""
+    """One simulated core bound to one dynamic trace.
 
-    def __init__(self, trace: Trace, config: ProcessorConfig):
+    ``oracle_pairs`` optionally supplies the unrestricted oracle memory
+    pairing for ``(trace, config.cache_access_granularity,
+    config.max_fusion_distance)`` — computed once per trace (see
+    :func:`repro.fusion.oracle.cached_oracle_pairs`) and shared across
+    the Helios and Oracle configurations of a sweep.  When omitted, the
+    core derives it itself, so direct construction behaves as before.
+    """
+
+    def __init__(self, trace: Trace, config: ProcessorConfig,
+                 oracle_pairs: Optional[List] = None):
         self.trace = list(trace)
         self.config = config
         mode = config.fusion_mode
@@ -192,19 +201,22 @@ class PipelineCore:
         self._eligible_pair_by_seq: Dict[int, Tuple[int, int]] = {}
         self._credited_pairs: Set[Tuple[int, int]] = set()
         if mode is FusionMode.HELIOS:
-            self.predictive_pairs = predictive_pair_set(
-                self.trace, granularity=config.cache_access_granularity,
-                max_distance=config.max_fusion_distance)
+            if oracle_pairs is None:
+                oracle_pairs = oracle_memory_pairs(
+                    self.trace, granularity=config.cache_access_granularity,
+                    max_distance=config.max_fusion_distance)
+            self.predictive_pairs = predictive_pairs_from(oracle_pairs)
             for pair in self.predictive_pairs:
                 self._eligible_pair_by_seq[pair[0]] = pair
                 self._eligible_pair_by_seq[pair[1]] = pair
         self._oracle_tail_to_head: Dict[int, int] = {}
         if mode is FusionMode.ORACLE:
-            pairs = oracle_memory_pairs(
-                self.trace, granularity=config.cache_access_granularity,
-                max_distance=config.max_fusion_distance)
+            if oracle_pairs is None:
+                oracle_pairs = oracle_memory_pairs(
+                    self.trace, granularity=config.cache_access_granularity,
+                    max_distance=config.max_fusion_distance)
             self._oracle_tail_to_head = {
-                p.tail_seq: p.head_seq for p in pairs}
+                p.tail_seq: p.head_seq for p in oracle_pairs}
 
         # Optional µ-op cache preserving consecutive-fusion groupings
         # (Section IV-A's integration discussion; off by default, as in

@@ -13,8 +13,7 @@ are dominated by non-memory idioms (Figure 2's exceptions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.isa.assembler import assemble
 from repro.isa.interp import run_program
@@ -191,10 +190,51 @@ def build_program(name: str) -> Program:
     return assemble(spec.source(), name=name)
 
 
-@lru_cache(maxsize=None)
-def build_workload(name: str, max_uops: int = 200_000) -> Trace:
-    """Assemble and functionally execute a workload; returns its trace.
+#: Default dynamic µ-op cap per workload trace.
+DEFAULT_MAX_UOPS = 200_000
 
-    Traces are deterministic, so results are cached per name.
+#: In-process trace memo, keyed by ``(name, max_uops)``.  One entry per
+#: key regardless of whether the caller spelled the default cap out
+#: (unlike the previous ``lru_cache``, which kept separate entries for
+#: ``build_workload(n)`` and ``build_workload(n, 200_000)``).
+_TRACE_MEMO: Dict[Tuple[str, int], Trace] = {}
+
+
+def clear_trace_memo() -> None:
+    """Drop the in-process trace memo (tests / memory pressure)."""
+    _TRACE_MEMO.clear()
+
+
+def build_workload(name: str, max_uops: int = DEFAULT_MAX_UOPS,
+                   use_store: Optional[bool] = None) -> Trace:
+    """The named workload's dynamic trace: capture once, replay many.
+
+    Traces are deterministic, so each ``(name, max_uops)`` is cached at
+    two levels: an in-process memo (every call in one process returns
+    the *same* :class:`~repro.isa.trace.Trace` object), and — unless
+    disabled via ``use_store=False`` or ``$REPRO_NO_TRACE_STORE`` — the
+    persistent binary trace store
+    (:mod:`repro.workloads.trace_store`), so other processes and later
+    runs replay the serialized trace instead of re-interpreting the
+    kernel.
     """
-    return run_program(build_program(name), max_uops=max_uops)
+    key = (name, max_uops)
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        return trace
+
+    # Imported lazily: trace_store imports this module for the catalog.
+    from repro.workloads import trace_store as _store_mod
+    enabled = (_store_mod.trace_store_enabled_by_default()
+               if use_store is None else use_store)
+    if enabled:
+        store = _store_mod.TraceStore()
+        salt = _store_mod.workload_salt(name)
+        trace = store.get(name, max_uops, salt)
+        if trace is None:
+            trace = run_program(build_program(name), max_uops=max_uops)
+            store.put(name, max_uops, trace, salt)
+    else:
+        trace = run_program(build_program(name), max_uops=max_uops)
+    _TRACE_MEMO[key] = trace
+    return trace

@@ -114,6 +114,64 @@ def test_cache_subcommand_info_and_clear(capsys, tmp_path):
     assert list(tmp_path.glob("*.json")) == []
 
 
+def test_trace_subcommand_info_and_clear(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+    from repro.workloads import build_workload, clear_trace_memo
+    clear_trace_memo()
+    build_workload("bitcount", max_uops=2000)
+    clear_trace_memo()
+    assert main(["trace", "--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 1" in out
+    assert "bitcount" in out
+    assert main(["trace", "clear", "--trace-dir", str(tmp_path)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert list(tmp_path.glob("*.trc")) == []
+
+
+def test_trace_export(capsys, tmp_path):
+    out_path = tmp_path / "bitcount.jsonl"
+    assert main(["trace", "export", "bitcount",
+                 "--out", str(out_path)]) == 0
+    assert "portable JSON-lines" in capsys.readouterr().out
+    from repro.isa import load_trace
+    trace = load_trace(str(out_path))
+    assert trace.name == "bitcount"
+    assert len(trace) > 0
+
+
+def test_trace_export_requires_workload():
+    with pytest.raises(SystemExit, match="needs a workload"):
+        main(["trace", "export"])
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["trace", "export", "nope"])
+
+
+def test_bench_quick(capsys, tmp_path):
+    import json
+    out_path = tmp_path / "BENCH_pipeline.json"
+    assert main(["bench", "--quick", "--workloads", "bitcount",
+                 "--max-uops", "2000", "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace capture" in out
+    assert "trace replay" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["modes"] == ["NoFusion", "Helios"]
+    assert set(payload["workloads"]) == {"bitcount"}
+    row = payload["workloads"]["bitcount"]
+    assert row["uops"] == 2000
+    assert set(row["modes"]) == {"NoFusion", "Helios"}
+    for timing in payload["totals"].values():
+        if isinstance(timing, float):
+            assert timing >= 0.0
+    assert payload["capture_vs_replay_speedup"] is not None
+
+
+def test_bench_unknown_workload():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["bench", "--workloads", "nope"])
+
+
 def test_storage_report(capsys):
     assert main(["storage"]) == 0
     out = capsys.readouterr().out
