@@ -17,6 +17,9 @@ def test_table3_predictor(benchmark, workloads):
     assert 20.0 < float(coverage) <= 100.0
     assert accuracy > 97.0          # tagging + confidence keep it high
     assert float(mpki) < 2.0
-    # Per-workload accuracy stays in the paper's regime.
-    for row in result.rows:
+    # Per-workload accuracy stays in the paper's regime; workloads the
+    # predictor never fired on report "n/a" and carry no accuracy claim.
+    numeric = [row for row in result.rows if row[2] != "n/a"]
+    assert numeric, "predictor fired on no workload at all"
+    for row in numeric:
         assert row[2] > 90.0, row

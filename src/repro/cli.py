@@ -11,6 +11,7 @@
     python -m repro trace                     # inspect the trace store
     python -m repro trace export dijkstra     # trace -> portable JSON-lines
     python -m repro bench --quick             # wall-clock perf harness
+    python -m repro debug 657.xz_1 --events-out xz.trace.json
     python -m repro storage                   # Table II budget
 """
 
@@ -25,8 +26,8 @@ from repro.config import FusionMode, ProcessorConfig
 from repro.core.simulator import ipc_uplift, simulate, simulate_modes
 from repro.core.storage import helios_storage_budget
 from repro.experiments import (
-    ResultCache, figure2, figure3, figure4, figure5, figure8, figure9,
-    figure10, run_suite, table1, table2, table3,
+    ResultCache, cpi_accounting, figure2, figure3, figure4, figure5,
+    figure8, figure9, figure10, run_suite, table1, table2, table3,
 )
 from repro.workloads import (
     CATALOG, TraceStore, build_workload, ensure_known, workload_names,
@@ -35,7 +36,7 @@ from repro.workloads import (
 _EXPERIMENTS = {
     "fig2": figure2, "fig3": figure3, "fig4": figure4, "fig5": figure5,
     "fig8": figure8, "fig9": figure9, "fig10": figure10,
-    "table1": table1, "table3": table3,
+    "table1": table1, "table3": table3, "cpi": cpi_accounting,
 }
 
 #: The simulation sweep each experiment needs (census-only experiments
@@ -47,6 +48,7 @@ _EXPERIMENT_MODES = {
     "fig10": (FusionMode.NONE, FusionMode.RISCV, FusionMode.CSF_SBR,
               FusionMode.RISCV_PP, FusionMode.HELIOS, FusionMode.ORACLE),
     "table3": (FusionMode.HELIOS,),
+    "cpi": (FusionMode.NONE, FusionMode.HELIOS),
 }
 
 _MODES = {mode.value.lower(): mode for mode in FusionMode}
@@ -211,7 +213,61 @@ def _cmd_bench(args) -> int:
           % totals["oracle_pairs_s"])
     for mode, seconds in totals["pipeline_run_s"].items():
         print("  pipeline run %-14s %7.3f s" % (mode, seconds))
+    obs = payload.get("observability") or {}
+    if obs:
+        print("  instrumentation overhead (%s, %s, best of %d):"
+              % (obs["workload"], obs["mode"], obs["reps"]))
+        print("    no-op  %+6.2f%%  (%.3f s vs %.3f s bare)"
+              % (obs["noop_overhead_pct"], obs["noop_run_s"],
+                 obs["bare_run_s"]))
+        print("    traced %+6.2f%%  (%.3f s)"
+              % (obs["traced_overhead_pct"], obs["traced_run_s"]))
     print("wrote %s" % path)
+    return 0
+
+
+def _cmd_debug(args) -> int:
+    """Observability deep-dive on one (workload, configuration) run."""
+    import json
+
+    from repro.obs import (PipelineObserver, chrome_trace,
+                           occupancy_report, validate_chrome_trace)
+
+    if args.workload not in CATALOG:
+        raise SystemExit("unknown workload %r (see `repro workloads`)"
+                         % args.workload)
+    if args.max_uops:
+        trace = build_workload(args.workload, max_uops=args.max_uops)
+    else:
+        trace = build_workload(args.workload)
+    mode = _parse_mode(args.mode) if args.mode else FusionMode.HELIOS
+    config = _config_from(args).with_mode(mode)
+    observer = (PipelineObserver(ring_capacity=args.ring) if args.ring
+                else PipelineObserver())
+    result = simulate(trace, config, name=args.workload, observer=observer)
+
+    print(result.summary())
+    print()
+    print(result.cpi_report())
+    print()
+    print(occupancy_report(observer))
+    counts = observer.event_counts()
+    print()
+    print("pipeline events: %d emitted, %d retained (ring %d), %d dropped"
+          % (observer.ring.emitted, len(observer.ring),
+             observer.ring.capacity, observer.ring.dropped))
+    print("  " + ", ".join("%s %d" % (kind, count)
+                           for kind, count in counts.items()))
+    if args.events_out:
+        payload = chrome_trace(observer.events(), workload=args.workload,
+                               mode=mode.value,
+                               dropped=observer.ring.dropped)
+        validate_chrome_trace(payload)
+        with open(args.events_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        print("wrote %d trace events to %s (load in Perfetto / "
+              "chrome://tracing)"
+              % (len(payload["traceEvents"]), args.events_out))
     return 0
 
 
@@ -290,6 +346,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_pipeline.json",
                        metavar="FILE", help="output path")
     bench.set_defaults(func=_cmd_bench)
+
+    debug = sub.add_parser(
+        "debug", help="observability deep-dive: top-down CPI breakdown, "
+                      "occupancy report, pipeline event trace")
+    debug.add_argument("workload")
+    debug.add_argument("--mode", help="configuration (default: Helios)")
+    debug.add_argument("--fp-kind", choices=["tournament", "tage", "local"],
+                       help="fusion predictor organization for Helios")
+    debug.add_argument("--events-out", metavar="FILE",
+                       help="write the Chrome trace-event JSON here "
+                            "(loadable in Perfetto)")
+    debug.add_argument("--ring", type=int, default=None, metavar="N",
+                       help="event ring capacity (default 65536; keeps "
+                            "the last N events)")
+    debug.add_argument("--max-uops", type=int, default=None, metavar="N",
+                       help="dynamic µ-op cap for the trace")
+    debug.set_defaults(func=_cmd_debug)
 
     sub.add_parser("storage", help="print the Table II storage budget") \
         .set_defaults(func=_cmd_storage)

@@ -129,6 +129,14 @@ class ProcessorConfig:
     #: decode-group misalignment (Section IV-A; off in the paper's
     #: evaluation and by default here).
     uop_cache_enabled: bool = False
+    #: Record the per-µ-op pipeline event trace (repro.obs).  Purely
+    #: observational — never changes timing — so it is excluded from
+    #: the result-cache fingerprint (NON_TIMING_FIELDS).
+    trace_events: bool = False
+
+    #: Fields that cannot affect simulation outcomes; excluded from
+    #: :meth:`fingerprint` so toggling them never invalidates caches.
+    NON_TIMING_FIELDS = ("trace_events",)
 
     def with_mode(self, mode: FusionMode) -> "ProcessorConfig":
         """A copy of this configuration with a different fusion mode."""
@@ -158,12 +166,17 @@ class ProcessorConfig:
     def fingerprint(self) -> str:
         """Stable short hash over every parameter that affects results.
 
-        Two configurations share a fingerprint iff every field —
-        including the fusion mode and nested cache geometries — is
+        Two configurations share a fingerprint iff every *timing* field
+        — including the fusion mode and nested cache geometries — is
         equal, so it is safe to key persistent result caches on
-        ``(workload, fingerprint)``.
+        ``(workload, fingerprint)``.  Purely observational fields
+        (``NON_TIMING_FIELDS``, e.g. ``trace_events``) are excluded:
+        turning tracing on must hit the same cache entries.
         """
-        payload = json.dumps(self.to_dict(), sort_keys=True,
+        data = self.to_dict()
+        for name in self.NON_TIMING_FIELDS:
+            data.pop(name, None)
+        payload = json.dumps(data, sort_keys=True,
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.config import FusionMode
-from repro.pipeline.core import CoreStats
+from repro.obs.events import PipelineObserver
+from repro.obs.export import cpi_report as _render_cpi_report
+from repro.pipeline.core import CoreStats, TOPDOWN_BUCKETS
 
 
 @dataclass
@@ -17,7 +20,8 @@ class SimResult:
     paper reports: IPC, fused-pair percentages (Figure 8 uses total
     dynamic *memory* instructions as the denominator; Figure 2 uses all
     dynamic µ-ops), predictor coverage/accuracy/MPKI (Table III), and
-    stall breakdowns (Figure 9).
+    stall breakdowns (Figure 9), plus the top-down CPI accounting
+    (``cpi_buckets`` / :meth:`cpi_report`).
     """
 
     workload: str
@@ -25,6 +29,12 @@ class SimResult:
     stats: CoreStats
     total_memory_uops: int = 0
     eligible_predictive_pairs: int = 0
+    #: Commit width the run used — the top-down slot denominator.
+    commit_width: int = 8
+    #: The event-trace observer of a traced run.  Process-local and
+    #: deliberately not serialized: cached results carry no observer.
+    observer: Optional[PipelineObserver] = field(
+        default=None, repr=False, compare=False)
 
     # -- headline -------------------------------------------------------------
 
@@ -104,11 +114,17 @@ class SimResult:
 
     @property
     def fp_accuracy_pct(self) -> float:
-        """Correct fusions / (correct + address mispredictions)."""
+        """Correct fusions / (correct + address mispredictions).
+
+        ``nan`` when the predictor resolved no fusion at all — a run
+        the predictor never fired on has no accuracy, and reporting
+        100.0 made Table III claim perfection for ineligible
+        workloads.  Renderers show it as ``n/a``.
+        """
         resolved = (self.stats.fp_fusions_correct
                     + self.stats.fp_address_mispredictions)
         if not resolved:
-            return 100.0
+            return float("nan")
         return 100.0 * self.stats.fp_fusions_correct / resolved
 
     @property
@@ -139,6 +155,49 @@ class SimResult:
             "sq": self.stats.dispatch_stall_sq,
         }
 
+    # -- top-down CPI accounting --------------------------------------------------
+
+    @property
+    def cpi_buckets(self) -> Dict[str, int]:
+        """Commit-slot attribution in canonical bucket order."""
+        raw = self.stats.cpi_buckets
+        return {name: raw.get(name, 0) for name in TOPDOWN_BUCKETS}
+
+    @property
+    def total_commit_slots(self) -> int:
+        return self.cycles * self.commit_width
+
+    def topdown_share_pct(self, bucket: str) -> float:
+        """One bucket's share of all commit slots, in percent."""
+        total = self.total_commit_slots
+        if not total:
+            return 0.0
+        return 100.0 * self.stats.cpi_buckets.get(bucket, 0) / total
+
+    @property
+    def backend_bound_pct(self) -> float:
+        """Memory + core execution + full-structure allocation stalls."""
+        return sum(self.topdown_share_pct(b) for b in (
+            "memory", "dispatch_rob", "dispatch_iq",
+            "dispatch_lq", "dispatch_sq"))
+
+    @property
+    def frontend_bound_pct(self) -> float:
+        return (self.topdown_share_pct("frontend")
+                + self.topdown_share_pct("rename"))
+
+    @property
+    def bad_speculation_pct(self) -> float:
+        """Branch-wait plus fusion-repair slots."""
+        return (self.topdown_share_pct("branch_flush")
+                + self.topdown_share_pct("fusion_repair"))
+
+    def cpi_report(self) -> str:
+        """The ASCII top-down breakdown (see ``repro debug``)."""
+        return _render_cpi_report(
+            self.cpi_buckets, self.cycles, self.commit_width,
+            self.stats.uops_committed)
+
     # -- serialization (persistent result cache) --------------------------------
 
     def to_dict(self) -> Dict:
@@ -149,6 +208,7 @@ class SimResult:
             "stats": self.stats.to_dict(),
             "total_memory_uops": self.total_memory_uops,
             "eligible_predictive_pairs": self.eligible_predictive_pairs,
+            "commit_width": self.commit_width,
         }
 
     @classmethod
@@ -159,6 +219,7 @@ class SimResult:
             stats=CoreStats.from_dict(data["stats"]),
             total_memory_uops=data["total_memory_uops"],
             eligible_predictive_pairs=data["eligible_predictive_pairs"],
+            commit_width=data.get("commit_width", 8),
         )
 
     def summary(self) -> str:
@@ -174,7 +235,10 @@ class SimResult:
             % (self.rename_stall_pct, self.dispatch_stall_pct),
         ]
         if self.mode is FusionMode.HELIOS:
+            accuracy = self.fp_accuracy_pct
+            accuracy_str = ("n/a" if math.isnan(accuracy)
+                            else "%.2f%%" % accuracy)
             lines.append(
-                "  FP: coverage %.1f%%, accuracy %.2f%%, MPKI %.4f"
-                % (self.fp_coverage_pct, self.fp_accuracy_pct, self.fp_mpki))
+                "  FP: coverage %.1f%%, accuracy %s, MPKI %.4f"
+                % (self.fp_coverage_pct, accuracy_str, self.fp_mpki))
         return "\n".join(lines)

@@ -20,6 +20,7 @@ from repro.fusion.oracle import cached_oracle_pairs, predictive_pair_set
 from repro.isa.interp import run_program
 from repro.isa.program import Program
 from repro.isa.trace import Trace
+from repro.obs import PipelineObserver, observer_from_environment
 from repro.pipeline.core import PipelineCore
 
 
@@ -47,16 +48,23 @@ def _shared_oracle_pairs(trace: Trace, config: ProcessorConfig):
 def simulate(workload: Union[Program, Trace],
              config: Optional[ProcessorConfig] = None,
              name: Optional[str] = None,
-             max_cycles: Optional[int] = None) -> SimResult:
+             max_cycles: Optional[int] = None,
+             observer: Optional[PipelineObserver] = None) -> SimResult:
     """Run one workload under one configuration.
 
     ``workload`` may be an assembled :class:`Program` (interpreted
-    first) or an already-captured :class:`Trace`.
+    first) or an already-captured :class:`Trace`.  Pass an
+    ``observer`` (or set ``config.trace_events`` /
+    ``REPRO_TRACE_EVENTS``) to record the per-µ-op pipeline event
+    trace; the observer is returned on ``result.observer``.
     """
     config = config or ProcessorConfig()
     trace = run_program(workload) if isinstance(workload, Program) else workload
+    if observer is None:
+        observer = observer_from_environment(config.trace_events)
     core = PipelineCore(trace, config,
-                        oracle_pairs=_shared_oracle_pairs(trace, config))
+                        oracle_pairs=_shared_oracle_pairs(trace, config),
+                        observer=observer)
     stats = core.run(max_cycles=max_cycles)
     # The core already computed the oracle prediction-needing pair set
     # for its coverage accounting; its size is the coverage denominator.
@@ -67,6 +75,8 @@ def simulate(workload: Union[Program, Trace],
         stats=stats,
         total_memory_uops=trace.num_memory,
         eligible_predictive_pairs=eligible,
+        commit_width=config.commit_width,
+        observer=observer,
     )
 
 

@@ -12,8 +12,9 @@ paper's evaluation (see DESIGN.md §5 for the experiment index).
 """
 
 from repro.experiments.cache import ResultCache, default_cache_dir
-from repro.experiments.engine import SweepEngine
+from repro.experiments.engine import SweepEngine, SweepJobError
 from repro.experiments.figures import (
+    cpi_accounting,
     figure2,
     figure3,
     figure4,
@@ -26,7 +27,8 @@ from repro.experiments.runner import clear_cache, get_result, run_suite
 from repro.experiments.tables import table1, table2, table3
 
 __all__ = [
-    "ResultCache", "SweepEngine", "default_cache_dir",
+    "ResultCache", "SweepEngine", "SweepJobError", "default_cache_dir",
+    "cpi_accounting",
     "figure2", "figure3", "figure4", "figure5",
     "figure8", "figure9", "figure10",
     "clear_cache", "get_result", "run_suite",

@@ -25,7 +25,10 @@ from repro.core.results import SimResult
 
 #: Bump whenever the on-disk layout or the meaning of any persisted
 #: counter changes; old entries then simply stop matching.
-CACHE_SCHEMA_VERSION = 1
+#: v2: top-down ``cpi_buckets`` in CoreStats, ``commit_width`` on
+#: SimResult, nan-aware ``fp_accuracy_pct`` — pre-observability
+#: entries would deserialize with empty buckets, so they must miss.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

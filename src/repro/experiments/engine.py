@@ -46,22 +46,68 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def default_jobs() -> int:
-    """Worker count from ``$REPRO_JOBS`` (default: 1, sequential)."""
+    """Worker count from ``$REPRO_JOBS`` (default: 1, sequential).
+
+    An unparsable or non-positive value raises — silently falling back
+    to one sequential worker masked typos like ``REPRO_JOBS=four`` and
+    made "parallel" runs mysteriously slow.
+    """
     raw = os.environ.get(JOBS_ENV, "").strip().lower()
     if not raw:
         return 1
-    if raw in ("auto", "0"):
+    if raw == "auto":
         return os.cpu_count() or 1
     try:
-        return max(1, int(raw))
+        value = int(raw)
     except ValueError:
-        return 1
+        raise ValueError(
+            "invalid %s=%r: expected a positive integer or 'auto'"
+            % (JOBS_ENV, raw))
+    if value == 0:
+        return os.cpu_count() or 1  # 0 is documented shorthand for auto
+    if value < 0:
+        raise ValueError(
+            "invalid %s=%r: worker count cannot be negative"
+            % (JOBS_ENV, raw))
+    return value
+
+
+class SweepJobError(RuntimeError):
+    """One or more sweep jobs crashed.
+
+    The sibling jobs' results were still stored in the memo/disk cache
+    before this was raised, so a re-run only re-simulates the failing
+    (workload, mode) pairs.  ``failures`` lists them as
+    ``(workload, mode_value, error_message)`` triples.
+    """
+
+    def __init__(self, failures: List[Tuple[str, str, str]]):
+        self.failures = list(failures)
+        detail = "; ".join("(%s, %s): %s" % f for f in self.failures)
+        super().__init__(
+            "%d sweep job(s) failed — completed siblings were cached — %s"
+            % (len(self.failures), detail))
 
 
 def _execute_job(job: Tuple[str, ProcessorConfig]) -> SimResult:
     """Worker entry point: one self-contained simulation."""
     name, config = job
     return simulate(build_workload(name), config, name=name)
+
+
+def _execute_job_guarded(job: Tuple[str, ProcessorConfig]
+                         ) -> Tuple[bool, object]:
+    """Worker entry point that never raises.
+
+    Returns ``(True, result)`` or ``(False, "ExcType: message")`` so a
+    crashing job cannot abort the pool map and discard every completed
+    sibling (exceptions are stringified: not every exception object
+    survives pickling back from a worker).
+    """
+    try:
+        return True, _execute_job(job)
+    except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
+        return False, "%s: %s" % (type(exc).__name__, exc)
 
 
 class SweepEngine:
@@ -121,10 +167,16 @@ class SweepEngine:
                     max_distance=config.max_fusion_distance)
 
     def _execute(self, jobs: List[Tuple[str, ProcessorConfig]]
-                 ) -> List[SimResult]:
+                 ) -> List[Tuple[bool, object]]:
+        """Run every job, isolating failures.
+
+        Returns one ``(ok, result_or_error)`` pair per job, in job
+        order — a crashing job reports ``(False, message)`` instead of
+        aborting the map and discarding its completed siblings.
+        """
         workers = min(self.jobs, len(jobs))
         if workers <= 1:
-            return [_execute_job(job) for job in jobs]
+            return [_execute_job_guarded(job) for job in jobs]
         self._preload(jobs)
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
@@ -132,7 +184,7 @@ class SweepEngine:
         with ctx.Pool(processes=workers) as pool:
             # chunksize=1: jobs are coarse (whole simulations) and
             # uneven, so per-job dispatch load-balances best.
-            return pool.map(_execute_job, jobs, chunksize=1)
+            return pool.map(_execute_job_guarded, jobs, chunksize=1)
 
     # --------------------------------------------------------------- sweeps --
 
@@ -176,8 +228,17 @@ class SweepEngine:
                     missing.append((name, full))
 
         if missing:
-            for (name, full), result in zip(missing,
-                                            self._execute(missing)):
-                self._store(name, full, result)
-                results[name][full.fusion_mode.value] = result
+            failures: List[Tuple[str, str, str]] = []
+            for (name, full), (ok, outcome) in zip(missing,
+                                                   self._execute(missing)):
+                if ok:
+                    self._store(name, full, outcome)
+                    results[name][full.fusion_mode.value] = outcome
+                else:
+                    failures.append((name, full.fusion_mode.value,
+                                     str(outcome)))
+            if failures:
+                # Every successful sibling is already in the memo/disk
+                # cache; re-running the sweep re-simulates only these.
+                raise SweepJobError(failures)
         return results

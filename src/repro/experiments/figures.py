@@ -202,7 +202,14 @@ def figure8(workloads: Optional[Sequence[str]] = None,
 
 def figure9(workloads: Optional[Sequence[str]] = None,
             config: Optional[ProcessorConfig] = None) -> ExperimentResult:
-    """Rename and Dispatch structural stalls (% of execution cycles)."""
+    """Rename and Dispatch structural stalls (% of execution cycles).
+
+    The trailing columns add the top-down view: the share of commit
+    slots each configuration loses to backend pressure (memory +
+    full-structure allocation stalls), baseline vs Helios — the same
+    evidence the stall counters give, but guaranteed to account for
+    every cycle (sum over all buckets == cycles * commit_width).
+    """
     rows = []
     for name in _names(workloads):
         base = get_result(name, FusionMode.NONE, config)
@@ -213,15 +220,60 @@ def figure9(workloads: Optional[Sequence[str]] = None,
             base.rename_stall_pct, base.dispatch_stall_pct,
             helios.rename_stall_pct, helios.dispatch_stall_pct,
             oracle.rename_stall_pct, oracle.dispatch_stall_pct,
+            base.backend_bound_pct, helios.backend_bound_pct,
         ])
-    summary = ["average"] + [amean(r[i] for r in rows) for i in range(1, 7)]
+    summary = ["average"] + [amean(r[i] for r in rows) for i in range(1, 9)]
     return ExperimentResult(
         name="Figure 9: rename/dispatch stalls (% of cycles)",
         headers=["workload", "base ren", "base dis",
-                 "Helios ren", "Helios dis", "Oracle ren", "Oracle dis"],
+                 "Helios ren", "Helios dis", "Oracle ren", "Oracle dis",
+                 "base be%", "Helios be%"],
         rows=rows, summary=summary,
         notes="paper: fusion removes a large share of dispatch stalls "
-              "(657.xz_1: 88% SQ-stall cycles in the baseline)")
+              "(657.xz_1: 88% SQ-stall cycles in the baseline); "
+              "be% = top-down backend-bound commit-slot share")
+
+
+# ------------------------------------------------- top-down CPI accounting --
+
+_CPI_MODES = (FusionMode.NONE, FusionMode.HELIOS)
+
+
+def cpi_accounting(workloads: Optional[Sequence[str]] = None,
+                   config: Optional[ProcessorConfig] = None) -> ExperimentResult:
+    """Top-down commit-slot shares per workload, baseline vs Helios.
+
+    Not a paper figure — the observability companion to Figure 9: for
+    each workload, the percentage of commit slots in each top-down
+    bucket group (base / frontend-bound / backend-bound /
+    branch+fusion repair / drain), under NoFusion and Helios.
+    """
+    rows = []
+    for name in _names(workloads):
+        row = [name]
+        for mode in _CPI_MODES:
+            result = get_result(name, mode, config)
+            row.extend([
+                result.topdown_share_pct("base"),
+                result.frontend_bound_pct,
+                result.backend_bound_pct,
+                result.bad_speculation_pct,
+                result.topdown_share_pct("drain"),
+            ])
+        rows.append(row)
+    count = 1 + 5 * len(_CPI_MODES)
+    summary = ["average"] + [amean(r[i] for r in rows)
+                             for i in range(1, count)]
+    headers = ["workload"]
+    for mode in _CPI_MODES:
+        tag = "base" if mode is FusionMode.NONE else "Helios"
+        headers.extend(["%s %s" % (tag, col)
+                        for col in ("ret%", "fe%", "be%", "spec%", "drain%")])
+    return ExperimentResult(
+        name="Top-down CPI accounting (% of commit slots)",
+        headers=headers, rows=rows, summary=summary,
+        notes="every commit slot attributed to exactly one bucket; "
+              "rows sum to 100% per configuration")
 
 
 # --------------------------------------------------------------- Figure 10 --

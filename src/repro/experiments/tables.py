@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 from repro.config import FusionMode, ProcessorConfig
@@ -91,11 +92,13 @@ def table3(workloads: Optional[Sequence[str]] = None,
     """Table III: fusion predictor coverage, accuracy and MPKI.
 
     Coverage is only defined for workloads that *have* pairs needing a
-    prediction (NCSF or CSF-DBR); others show "n/a" and are excluded
-    from the coverage average.
+    prediction (NCSF or CSF-DBR), and accuracy only for workloads the
+    predictor actually fired on; others show "n/a" and are excluded
+    from the respective average.
     """
     rows = []
     coverages = []
+    accuracies = []
     for name in _names(workloads):
         result = get_result(name, FusionMode.HELIOS, config)
         if result.eligible_predictive_pairs:
@@ -103,11 +106,16 @@ def table3(workloads: Optional[Sequence[str]] = None,
             coverages.append(result.fp_coverage_pct)
         else:
             coverage = "n/a"
-        rows.append([name, coverage, result.fp_accuracy_pct,
-                     "%.4f" % result.fp_mpki])
+        accuracy_pct = result.fp_accuracy_pct
+        if math.isnan(accuracy_pct):
+            accuracy = "n/a"
+        else:
+            accuracy = accuracy_pct
+            accuracies.append(accuracy_pct)
+        rows.append([name, coverage, accuracy, "%.4f" % result.fp_mpki])
     summary = ["average",
                "%.2f" % amean(coverages),
-               amean(r[2] for r in rows),
+               amean(accuracies),
                "%.4f" % amean(float(r[3]) for r in rows)]
     return ExperimentResult(
         name="Table III: Helios fusion predictor coverage/accuracy/MPKI",

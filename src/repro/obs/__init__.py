@@ -1,0 +1,42 @@
+"""Observability layer: stats registry, pipeline event trace, exporters.
+
+See DESIGN.md ("Observability") for the event schema, the top-down
+CPI bucket definitions, and Perfetto loading instructions.
+"""
+
+from .registry import Counter, Histogram, NULL_REGISTRY, StatsRegistry
+from .events import (
+    DEFAULT_RING_CAPACITY,
+    EVENT_KINDS,
+    STAGE_KINDS,
+    TRACE_EVENTS_ENV,
+    EventRing,
+    PipelineObserver,
+    observer_from_environment,
+    trace_events_env_enabled,
+)
+from .export import (
+    chrome_trace,
+    cpi_report,
+    occupancy_report,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "NULL_REGISTRY",
+    "StatsRegistry",
+    "DEFAULT_RING_CAPACITY",
+    "EVENT_KINDS",
+    "STAGE_KINDS",
+    "TRACE_EVENTS_ENV",
+    "EventRing",
+    "PipelineObserver",
+    "observer_from_environment",
+    "trace_events_env_enabled",
+    "chrome_trace",
+    "cpi_report",
+    "occupancy_report",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,162 @@
+"""Ring-buffered pipeline event trace.
+
+Every µ-op's journey through the pipeline can be recorded as a stream
+of ``(cycle, kind, seq, detail)`` events — one event per stage
+transition (fetch/decode/rename/dispatch/issue/execute/commit) plus
+irregular events (flush, fuse, unfuse, stall).  Events land in a
+bounded ring buffer (:class:`EventRing`), so tracing a long run keeps
+the *last* N events instead of exhausting memory; the number of
+events that fell off the front is reported so exporters can say so.
+
+Tracing is opt-in: construct a :class:`PipelineObserver` and hand it
+to :class:`~repro.pipeline.core.PipelineCore` (or set
+``ProcessorConfig.trace_events`` / the ``REPRO_TRACE_EVENTS``
+environment variable and let :func:`repro.core.simulator.simulate`
+build one).  With no observer attached the pipeline's emission sites
+reduce to a single ``is None`` test per site.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from .registry import StatsRegistry
+
+#: Environment variable that turns on event tracing in ``simulate()``.
+TRACE_EVENTS_ENV = "REPRO_TRACE_EVENTS"
+
+#: Default ring capacity — 65536 events is plenty for our kernels while
+#: bounding a pathological run to a few MB.
+DEFAULT_RING_CAPACITY = 1 << 16
+
+#: Every event kind the pipeline emits, in rough pipeline order.
+#: ``detail`` is a short free-form string (flush cause, fusion kind,
+#: unfuse reason, stall reason ...) or "" when there is nothing to add.
+EVENT_KINDS = (
+    "fetch",
+    "decode",
+    "rename",
+    "dispatch",
+    "issue",
+    "execute",
+    "commit",
+    "flush",
+    "fuse",
+    "unfuse",
+    "stall",
+)
+
+#: Stage-transition kinds, i.e. the per-µ-op milestones that become
+#: duration slices in the Chrome trace export.  Order matters: it is
+#: the order slices are stacked per µ-op.
+STAGE_KINDS = (
+    "fetch", "decode", "rename", "dispatch", "issue", "execute", "commit",
+)
+
+#: An event is a flat tuple — cheap to allocate in the hot loop.
+Event = Tuple[int, str, int, str]
+
+
+class EventRing:
+    """A bounded FIFO of pipeline events.
+
+    Backed by ``deque(maxlen=capacity)``: appending when full silently
+    evicts the oldest event, which we count in :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("EventRing capacity must be positive, got %r"
+                             % (capacity,))
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def append(self, event: Event) -> None:
+        self.emitted += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the front because the ring was full."""
+        return self.emitted - len(self._events)
+
+    def events(self) -> List[Event]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+
+def trace_events_env_enabled(environ: Optional[Dict[str, str]] = None) -> bool:
+    """True when ``REPRO_TRACE_EVENTS`` asks for tracing."""
+    env = os.environ if environ is None else environ
+    raw = env.get(TRACE_EVENTS_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
+class PipelineObserver:
+    """Collects everything the pipeline can tell us about one run.
+
+    Owns a :class:`StatsRegistry` (per-structure occupancy histograms,
+    per-kind event counters) and an :class:`EventRing`.  The pipeline
+    calls :meth:`emit` at stage transitions and :meth:`sample_occupancy`
+    once per cycle; both are written to be cheap, and neither is called
+    at all when no observer is attached.
+    """
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 registry: Optional[StatsRegistry] = None):
+        self.registry = StatsRegistry() if registry is None else registry
+        self.ring = EventRing(ring_capacity)
+        self._kind_counters = {
+            kind: self.registry.counter("events.%s" % kind)
+            for kind in EVENT_KINDS
+        }
+        self._occupancy: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- events --
+
+    def emit(self, cycle: int, kind: str, seq: int, detail: str = "") -> None:
+        """Record one pipeline event.  ``kind`` must be in EVENT_KINDS."""
+        self.ring.append((cycle, kind, seq, detail))
+        self._kind_counters[kind].add()
+
+    def events(self) -> List[Event]:
+        return self.ring.events()
+
+    def event_counts(self) -> Dict[str, int]:
+        """Total emissions per kind (independent of ring eviction)."""
+        return {kind: counter.value
+                for kind, counter in self._kind_counters.items()
+                if counter.value}
+
+    # ---------------------------------------------------------- occupancy --
+
+    def sample_occupancy(self, structure: str, depth: int) -> None:
+        """Record one cycle's occupancy of a pipeline structure."""
+        hist = self._occupancy.get(structure)
+        if hist is None:
+            hist = self._occupancy[structure] = self.registry.histogram(
+                "occupancy.%s" % structure)
+        hist.observe(depth)
+
+    def occupancy_histograms(self):
+        """(structure, Histogram) pairs in registration order."""
+        return list(self._occupancy.items())
+
+
+def observer_from_environment(
+        trace_events: bool,
+        environ: Optional[Dict[str, str]] = None,
+) -> Optional[PipelineObserver]:
+    """Build an observer when the config flag or env var asks for one."""
+    if trace_events or trace_events_env_enabled(environ):
+        return PipelineObserver()
+    return None

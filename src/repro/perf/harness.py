@@ -10,11 +10,19 @@ Every number answers one question about the hot path a sweep pays for:
   across the Helios/Oracle configurations of a sweep).
 * ``modes[<mode>].run_s`` — one :meth:`PipelineCore.run` under each
   fusion mode, the irreducible per-configuration cost.
+* ``observability`` — the instrumentation tax, measured on one
+  representative workload: a run with top-down accounting disabled
+  (``bare``), the default run (``noop`` — accounting on, no event
+  observer), and a fully traced run.  ``noop_overhead_pct`` is the
+  number the observability layer promises to keep small: the default
+  simulation path must not pay for the tracing it isn't doing.
 
 Timings use ``time.perf_counter`` around single runs — this is a
 trend harness (is the hot path getting faster PR over PR?), not a
 microbenchmark; run-to-run noise of a few percent is expected and
-fine at the multi-second scale the totals live at.
+fine at the multi-second scale the totals live at.  The one exception
+is the observability triple, which interleaves best-of-N runs because
+it measures a small *difference* between large numbers.
 """
 
 from __future__ import annotations
@@ -86,6 +94,59 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
+#: Representative workload for the observability-overhead triple
+#: (falls back to the first benched workload when absent).
+OBS_OVERHEAD_WORKLOAD = "657.xz_1"
+
+#: Interleaved repetitions per variant for the overhead triple.
+OBS_OVERHEAD_REPS = 3
+
+
+def measure_obs_overhead(trace, config, oracle_pairs=None,
+                         reps: int = OBS_OVERHEAD_REPS) -> Dict:
+    """Time bare / no-op / traced pipeline runs on one trace.
+
+    * ``bare`` — ``topdown=False``: the pipeline with every optional
+      accounting hook off (the pre-observability baseline).
+    * ``noop`` — the default: top-down slot accounting on, no event
+      observer attached.  This is what every sweep job runs.
+    * ``traced`` — a :class:`~repro.obs.PipelineObserver` attached:
+      full event ring + occupancy sampling.
+
+    The three variants are interleaved and each takes its best-of-N,
+    so a load spike hits all of them rather than biasing one; the
+    headline ``noop_overhead_pct`` is a small difference between
+    large numbers and single runs would drown it in scheduler noise.
+    """
+    from repro.obs import PipelineObserver
+
+    def _run(**kwargs):
+        core = PipelineCore(trace, config, oracle_pairs=oracle_pairs,
+                            **kwargs)
+        _, seconds = _timed(core.run)
+        return seconds
+
+    best = {"bare": float("inf"), "noop": float("inf"),
+            "traced": float("inf")}
+    for _ in range(max(1, reps)):
+        best["bare"] = min(best["bare"], _run(topdown=False))
+        best["noop"] = min(best["noop"], _run())
+        best["traced"] = min(best["traced"],
+                             _run(observer=PipelineObserver()))
+
+    def _pct(variant: str) -> float:
+        return round(100.0 * (best[variant] / best["bare"] - 1.0), 2)
+
+    return {
+        "reps": max(1, reps),
+        "bare_run_s": round(best["bare"], 4),
+        "noop_run_s": round(best["noop"], 4),
+        "traced_run_s": round(best["traced"], 4),
+        "noop_overhead_pct": _pct("noop"),
+        "traced_overhead_pct": _pct("traced"),
+    }
+
+
 def run_bench(workloads: Optional[List[str]] = None,
               quick: bool = False,
               max_uops: Optional[int] = None,
@@ -105,6 +166,11 @@ def run_bench(workloads: Optional[List[str]] = None,
         "oracle_pairs_s": 0.0,
         "pipeline_run_s": {mode.value: 0.0 for mode in modes},
     }
+    obs_name = (OBS_OVERHEAD_WORKLOAD if OBS_OVERHEAD_WORKLOAD in names
+                else names[0])
+    obs_mode = (FusionMode.HELIOS if FusionMode.HELIOS in modes
+                else modes[-1])
+    observability: Dict = {}
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         store = TraceStore(tmp)
@@ -153,6 +219,16 @@ def run_bench(workloads: Optional[List[str]] = None,
                 totals["pipeline_run_s"][mode.value] += run_s
             per_workload[name] = row
 
+            if name == obs_name:
+                obs_pairs = (pairs if obs_mode in (FusionMode.HELIOS,
+                                                   FusionMode.ORACLE)
+                             else None)
+                observability = measure_obs_overhead(
+                    trace, base.with_mode(obs_mode),
+                    oracle_pairs=obs_pairs)
+                observability["workload"] = name
+                observability["mode"] = obs_mode.value
+
     capture = totals["trace_build_cold_s"]
     replay_total = totals["store_load_s"]
     payload = {
@@ -174,6 +250,9 @@ def run_bench(workloads: Optional[List[str]] = None,
         #: cold (re-interpreted) one — the sweep front-end speedup.
         "capture_vs_replay_speedup": round(
             capture / replay_total, 2) if replay_total > 0 else None,
+        #: Instrumentation tax (bare vs default vs traced run); the
+        #: observability layer's contract is noop_overhead_pct < 2.
+        "observability": observability,
     }
     return payload
 

@@ -54,6 +54,52 @@ def _seq_key(uop):
 STLF_LATENCY = 5
 
 
+#: Top-down CPI accounting buckets, in canonical report order.  Every
+#: commit slot of every cycle is attributed to exactly one bucket
+#: (sum(buckets) == cycles * commit_width, enforced at the end of
+#: ``run()``):
+#:
+#: * ``base`` — slots that committed a µ-op, plus empty slots waiting
+#:   on non-memory execution at the ROB head (core-bound).
+#: * ``frontend`` — the backend was empty (or filling) because fetch /
+#:   decode had not delivered µ-ops, including L1I-miss refills.
+#: * ``rename`` — rename moved nothing while holding input (free-list
+#:   or latch pressure).
+#: * ``dispatch_{rob,iq,lq,sq}`` — dispatch allocated nothing because
+#:   that backend structure was full (the allocation-stall view of
+#:   backend pressure).
+#: * ``memory`` — the ROB head (or its extended commit group) was
+#:   waiting on a memory access, or fetch was refilling after a
+#:   memory-order-violation flush.
+#: * ``branch_flush`` — fetch was stalled on an unresolved mispredicted
+#:   branch.
+#: * ``fusion_repair`` — fetch was refilling after a fusion-
+#:   misprediction flush (Helios's Case-5 repair path).
+#: * ``drain`` — the trace is exhausted and the machine is emptying;
+#:   the slack slots of the wind-down cycles.
+TOPDOWN_BUCKETS = (
+    "base",
+    "frontend",
+    "rename",
+    "dispatch_rob",
+    "dispatch_iq",
+    "dispatch_lq",
+    "dispatch_sq",
+    "memory",
+    "branch_flush",
+    "fusion_repair",
+    "drain",
+)
+
+#: Bucket charged while fetch waits out ``fetch_resume_cycle``, by the
+#: reason the resume delay was imposed.
+_RESUME_BUCKET = {
+    "icache": "frontend",
+    "order": "memory",
+    "fusion": "fusion_repair",
+}
+
+
 @dataclass
 class CoreStats:
     """Raw counters accumulated by the cycle loop."""
@@ -94,6 +140,9 @@ class CoreStats:
     branch_mispredictions: int = 0
     order_violation_flushes: int = 0
     fusion_flushes: int = 0
+    #: Top-down commit-slot attribution (bucket name -> slot count, see
+    #: TOPDOWN_BUCKETS).  Empty when the core ran with topdown=False.
+    cpi_buckets: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -133,10 +182,25 @@ class PipelineCore:
     """
 
     def __init__(self, trace: Trace, config: ProcessorConfig,
-                 oracle_pairs: Optional[List] = None):
+                 oracle_pairs: Optional[List] = None,
+                 observer: Optional["PipelineObserver"] = None,
+                 topdown: bool = True):
         self.trace = list(trace)
         self.config = config
         mode = config.fusion_mode
+
+        # Observability: optional event trace / occupancy observer (see
+        # repro.obs) and the always-cheap top-down slot accounting.
+        self.observer = observer
+        self._ev = observer
+        self._topdown = topdown
+        self._slots: Dict[str, int] = {name: 0 for name in TOPDOWN_BUCKETS}
+        self._committed_this_cycle = 0
+        self._commit_stall_bucket: Optional[str] = None
+        self._cycle_dispatch_block: Optional[str] = None
+        self._cycle_rename_block = False
+        self._resume_reason: Optional[str] = None
+        self._flush_cause: Optional[str] = None
 
         # Frontend state.
         self.fetch_index = 0
@@ -263,6 +327,9 @@ class PipelineCore:
         """Simulate until the whole trace commits; returns the counters."""
         total_instructions = len(self.trace)
         limit = max_cycles or (200 * total_instructions + 10_000)
+        topdown = self._topdown
+        slots = self._slots
+        commit_width = self.config.commit_width
         while self.stats.instructions < total_instructions:
             self.now += 1
             if self.now > limit:
@@ -278,18 +345,99 @@ class PipelineCore:
             self._decode()
             self._fetch()
             self._train_uch()
+            if topdown:
+                # Top-down slot attribution, inlined — committed slots
+                # are ``base``, the rest go to the dominant blocker.
+                committed = self._committed_this_cycle
+                slots["base"] += committed
+                if committed < commit_width:
+                    slots[self._stall_slot_bucket()] += (
+                        commit_width - committed)
+            if self._ev is not None:
+                self._sample_occupancy()
         self.stats.cycles = self.now
+        if self._topdown:
+            self.stats.cpi_buckets = dict(self._slots)
+            total = self.now * self.config.commit_width
+            accounted = sum(self._slots.values())
+            if accounted != total:
+                raise RuntimeError(
+                    "top-down slot accounting leaked: attributed %d slots "
+                    "over %d cycles x %d commit slots = %d"
+                    % (accounted, self.now, self.config.commit_width, total))
         return self.stats
+
+    # ------------------------------------------------------- observability --
+
+    def _stall_slot_bucket(self) -> str:
+        """Why did the commit stage leave slots empty this cycle?
+
+        Precedence (checked after all stages of the cycle have run):
+        allocation stalls on a full backend structure first (the
+        top-down way of detecting backend pressure), then the commit
+        stage's own recorded blocker (memory-vs-core, captured when
+        the commit loop broke — no re-scan), then frontend-side
+        causes, then wind-down drain.
+        """
+        now = self.now
+        if self._cycle_dispatch_block is not None:
+            return "dispatch_" + self._cycle_dispatch_block
+        if self._commit_stall_bucket is not None:
+            return self._commit_stall_bucket
+        rob = self.rob
+        if rob:
+            # The ROB emptied at commit time and refilled during the
+            # cycle: the new head is still executing.
+            head = rob[0]
+            if head.complete_c is None or head.complete_c > now:
+                return "memory" if head.is_memory else "base"
+            return "base"
+        if self.rename_latch:
+            return "frontend"  # dispatched some but backend emptied
+        if self.aq:
+            return "rename" if self._cycle_rename_block else "frontend"
+        # Backend and queues empty: the frontend owns the bubble.
+        if self.waiting_branch is not None \
+                or self._stall_on_branch_seq is not None:
+            return "branch_flush"
+        if now < self.fetch_resume_cycle:
+            return _RESUME_BUCKET.get(self._resume_reason, "frontend")
+        if self.fetch_buffer:
+            return "frontend"
+        if self.fetch_index >= len(self.trace):
+            return "drain"
+        return "frontend"
+
+    def _sample_occupancy(self) -> None:
+        obs = self._ev
+        obs.sample_occupancy("fetch_buffer", len(self.fetch_buffer))
+        obs.sample_occupancy("aq", len(self.aq))
+        obs.sample_occupancy("rename_latch", len(self.rename_latch))
+        obs.sample_occupancy("iq", self.iq_count)
+        obs.sample_occupancy("rob", len(self.rob))
+        obs.sample_occupancy("lq", len(self.lsu.lq))
+        obs.sample_occupancy("sq", len(self.lsu.sq))
 
     # ---------------------------------------------------------------- fetch --
 
+    def _fetch_stall(self, reason: str) -> None:
+        """One cycle in which fetch moved nothing while input remained."""
+        self.stats.fetch_stall_cycles += 1
+        if self._ev is not None:
+            self._ev.emit(self.now, "stall", -1, "fetch:" + reason)
+
     def _fetch(self) -> None:
+        # A stall is only a stall while there is input left to fetch;
+        # wind-down cycles after the trace is exhausted are not counted.
+        have_input = self.fetch_index < len(self.trace)
         if self.now < self.fetch_resume_cycle:
-            self.stats.fetch_stall_cycles += 1
+            if have_input:
+                self._fetch_stall(self._resume_reason or "resume")
             return
         if self._stall_on_branch_seq is not None:
             # A mispredicted branch is fetched but not yet decoded.
-            self.stats.fetch_stall_cycles += 1
+            if have_input:
+                self._fetch_stall("branch")
             return
         waiting = self.waiting_branch
         if waiting is not None:
@@ -300,10 +448,12 @@ class PipelineCore:
                 if self.now >= resume:
                     self.waiting_branch = None
                 else:
-                    self.stats.fetch_stall_cycles += 1
+                    if have_input:
+                        self._fetch_stall("branch")
                     return
             else:
-                self.stats.fetch_stall_cycles += 1
+                if have_input:
+                    self._fetch_stall("branch")
                 return
         fetched = 0
         trace = self.trace
@@ -319,11 +469,17 @@ class PipelineCore:
                 self._fetch_line = line
                 if stall:
                     self.fetch_resume_cycle = self.now + stall
-                    self.stats.fetch_stall_cycles += 1
+                    self._resume_reason = "icache"
+                    if fetched == 0:
+                        # Only a stall cycle if the miss blocked the
+                        # whole group — a partial fetch made progress.
+                        self._fetch_stall("icache")
                     return
             self.fetch_buffer.append(mo)
             self.fetch_index += 1
             fetched += 1
+            if self._ev is not None:
+                self._ev.emit(self.now, "fetch", mo.seq)
             if mo.is_branch:
                 prediction = self.branch_pred.predict(mo.pc)
                 self.branch_pred.update(mo.pc, mo.taken)
@@ -340,6 +496,8 @@ class PipelineCore:
         """Create a PipeUop for one decoded µ-op (branch markers etc.)."""
         uop = PipeUop(mo)
         uop.fetch_c = self.now
+        if self._ev is not None:
+            self._ev.emit(self.now, "decode", mo.seq)
         if mo.is_branch and self._stall_on_branch_seq == mo.seq:
             # Attach the fetch-stall marker to the real PipeUop.
             uop.mispredicted_branch = True
@@ -398,6 +556,8 @@ class PipelineCore:
                 pair = self.window.match(previous.head, mo)
                 if pair is not None:
                     previous.fuse_consecutive(mo, pair.idiom, pair.is_memory)
+                    if self._ev is not None:
+                        self._ev.emit(self.now, "fuse", previous.seq, "csf")
                     if slots:
                         slots[-1] = CachedSlot(
                             pcs=(previous.head.pc, mo.pc),
@@ -431,6 +591,8 @@ class PipelineCore:
                 tail_mo = self.fetch_buffer.popleft()
                 uop.fuse_consecutive(tail_mo, slot.idiom,
                                      slot.is_memory_pair)
+                if self._ev is not None:
+                    self._ev.emit(self.now, "fuse", uop.seq, "csf")
                 self.aq.append(uop)
                 self._aq_by_seq[uop.seq] = uop
             else:
@@ -466,6 +628,8 @@ class PipelineCore:
         head.fuse_ncsf(uop.head, "load_pair" if uop.is_load else "store_pair")
         head.fp_prediction = prediction
         self.stats.fp_fusions_attempted += 1
+        if self._ev is not None:
+            self._ev.emit(self.now, "fuse", head.seq, "ncsf")
         ghost = make_tail_ghost(uop.head, head)
         ghost.fetch_c = self.now
         return ghost
@@ -479,6 +643,8 @@ class PipelineCore:
             return None  # head already left the AQ: fusion impossible
         head.fuse_ncsf(uop.head, "load_pair" if uop.is_load else "store_pair")
         head.validate()  # the oracle needs no validation pass
+        if self._ev is not None:
+            self._ev.emit(self.now, "fuse", head.seq, "oracle")
         return "consumed"
 
     # ---------------------------------------------------------------- rename --
@@ -504,6 +670,8 @@ class PipelineCore:
                 self.aq.popleft()
                 self._aq_by_seq.pop(uop.seq, None)
                 uop.rename_c = self.now
+                if self._ev is not None:
+                    self._ev.emit(self.now, "rename", uop.seq, "ghost")
                 if outcome == "validated":
                     if uop.ghost_of.rename_c == self.now:
                         # Both nucleii in the same rename group: Rename
@@ -537,9 +705,15 @@ class PipelineCore:
             uop.rename_c = self.now
             self.rename_latch.append(uop)
             renamed += 1
-        if renamed == 0 and (blocked or (self.aq and len(self.rename_latch)
-                                         >= self.rename_latch_cap)):
+            if self._ev is not None:
+                self._ev.emit(self.now, "rename", uop.seq)
+        self._cycle_rename_block = renamed == 0 and (
+            blocked or (bool(self.aq) and len(self.rename_latch)
+                        >= self.rename_latch_cap))
+        if self._cycle_rename_block:
             self.stats.rename_stall_cycles += 1
+            if self._ev is not None:
+                self._ev.emit(self.now, "stall", -1, "rename")
 
     def _unfuse_pending(self, head: PipeUop, reason: str) -> None:
         """Cases 2-4: unfuse a pending NCSF'd µ-op in place."""
@@ -549,6 +723,8 @@ class PipelineCore:
             head.fp_prediction = None
         before = head.dests
         head.unfuse(reason)
+        if self._ev is not None:
+            self._ev.emit(self.now, "unfuse", head.seq, reason)
         dropped = [d for d in before if d not in head.dests]
         if head.rename_c:
             self.rename_unit.release(dropped)
@@ -591,6 +767,8 @@ class PipelineCore:
 
             self.rename_latch.popleft()
             uop.dispatch_c = self.now
+            if self._ev is not None:
+                self._ev.emit(self.now, "dispatch", uop.seq)
             self.rob.append(uop)
             if uop.opclass is OpClass.NOP:
                 uop.complete_c = self.now  # NOPs need no execution
@@ -605,6 +783,7 @@ class PipelineCore:
             dispatched += 1
 
         if dispatched == 0 and self.rename_latch:
+            self._cycle_dispatch_block = blocked_reason
             self.stats.dispatch_stall_cycles += 1
             if blocked_reason == "rob":
                 self.stats.dispatch_stall_rob += 1
@@ -614,6 +793,11 @@ class PipelineCore:
                 self.stats.dispatch_stall_lq += 1
             elif blocked_reason == "sq":
                 self.stats.dispatch_stall_sq += 1
+            if self._ev is not None:
+                self._ev.emit(self.now, "stall", -1,
+                              "dispatch:%s" % (blocked_reason or "?"))
+        else:
+            self._cycle_dispatch_block = None
 
     # ----------------------------------------------------------------- issue --
 
@@ -680,6 +864,10 @@ class PipelineCore:
             uop.issue_c = now
             uop.in_iq = False
             issued += 1
+            if self._ev is not None:
+                self._ev.emit(now, "issue", uop.seq)
+                if uop.complete_c is not None:
+                    self._ev.emit(uop.complete_c, "execute", uop.seq)
             if uop.waiters:
                 self._wake_waiters(uop)
         self._iq_awake = keep
@@ -792,6 +980,7 @@ class PipelineCore:
             oldest = min(victims, key=lambda e: e.uop.seq)
             self.storeset.train_violation(oldest.uop.pc, uop.pc)
             self.stats.order_violation_flushes += 1
+            self._flush_cause = "order"
             return oldest.uop.seq
         return "ok"
 
@@ -799,12 +988,15 @@ class PipelineCore:
         """Case 5 repair: unfuse, flush from the tail nucleus, refetch."""
         self.stats.fp_address_mispredictions += 1
         self.stats.fusion_flushes += 1
+        self._flush_cause = "fusion"
         if uop.fp_prediction is not None and self.fp is not None:
             self.fp.resolve(uop.fp_prediction, correct=False)
             uop.fp_prediction = None
         tail_seq = uop.tail.seq
         before = uop.dests
         uop.unfuse("span")
+        if self._ev is not None:
+            self._ev.emit(self.now, "unfuse", uop.seq, "span")
         self.rename_unit.release([d for d in before if d not in uop.dests])
         entry = self._lsq_entries.get(uop.seq)
         if entry is not None:
@@ -824,6 +1016,10 @@ class PipelineCore:
 
     def _flush_from(self, seq: int) -> None:
         """Squash every instruction younger than ``seq`` and refetch."""
+        cause = self._flush_cause or "order"
+        self._flush_cause = None
+        if self._ev is not None:
+            self._ev.emit(self.now, "flush", seq, cause)
         # Frontend.
         self.fetch_index = min(self.fetch_index, seq)
         self.fetch_buffer = deque(
@@ -831,6 +1027,7 @@ class PipelineCore:
         self.fetch_resume_cycle = max(
             self.fetch_resume_cycle,
             self.now + self.config.branch_mispredict_penalty)
+        self._resume_reason = cause
         self._stall_on_branch_seq = None
         if self.waiting_branch is not None and self.waiting_branch.seq >= seq:
             self.waiting_branch = None
@@ -895,6 +1092,8 @@ class PipelineCore:
                         self.fp.resolve(uop.fp_prediction, correct=False)
                         uop.fp_prediction = None
                     uop.unfuse("flush")
+                    if self._ev is not None:
+                        self._ev.emit(self.now, "unfuse", uop.seq, "flush")
                     uop.extra_producers = []
                     if uop.parked and uop.in_iq:
                         # It may be parked on a squashed catalyst
@@ -934,21 +1133,32 @@ class PipelineCore:
         committed = 0
         config = self.config
         self._maybe_take_interrupt()
+        # Record *why* the commit loop broke (for the top-down slot
+        # accounting at end of cycle) so `_stall_slot_bucket` never has
+        # to re-derive it with a second ROB scan.
+        self._commit_stall_bucket = None
         while committed < config.commit_width and self.rob:
             uop = self.rob[0]
             if uop.complete_c is None or uop.complete_c > self.now:
+                self._commit_stall_bucket = (
+                    "memory" if uop.is_memory else "base")
                 break
             if uop.tail_complete_c is not None and uop.tail_complete_c > self.now:
-                break  # the tail half of a fused load pair is in flight
+                # The tail half of a fused load pair is in flight.
+                self._commit_stall_bucket = "memory"
+                break
             if uop.late_producers:
                 # Fused store pair: the tail data must be captured.
                 late = uop.late_ready_at()
                 if late is None or late > self.now:
+                    self._commit_stall_bucket = "base"
                     break
             if uop.tail is not None and not self._commit_group_ready(uop):
-                break
+                break  # _commit_group_ready recorded the blocker's bucket
             self.rob.popleft()
             uop.committed = True
+            if self._ev is not None:
+                self._ev.emit(self.now, "commit", uop.seq)
             # Extended commit group tracking: a fused µ-op opens a group
             # covering everything up to its tail nucleus.
             if uop.tail is not None:
@@ -971,6 +1181,7 @@ class PipelineCore:
                         self._schedule_drain(entry)
                         self.storeset.store_completed(uop.pc, uop.seq)
             committed += 1
+        self._committed_this_cycle = committed
 
     def _commit_group_ready(self, uop: PipeUop) -> bool:
         """Extended commit group: nucleii *and* catalyst must be ready."""
@@ -981,6 +1192,8 @@ class PipelineCore:
             if other.seq > tail_seq:
                 break
             if other.complete_c is None or other.complete_c > self.now:
+                self._commit_stall_bucket = (
+                    "memory" if other.is_memory else "base")
                 return False
         return True
 

@@ -122,3 +122,33 @@ def test_fused_pair_count_bounded_by_oracle_potential(source):
     result = simulate(trace, ProcessorConfig().with_mode(FusionMode.ORACLE))
     pairs = result.stats.csf_memory_pairs + result.stats.ncsf_memory_pairs
     assert 2 * pairs <= trace.num_memory
+
+
+@settings(max_examples=10, deadline=None)
+@given(stressful_programs(), st.sampled_from(list(FusionMode)))
+def test_stall_counters_bounded_by_cycles(source, mode):
+    """A stage stalls at most once per cycle, and the per-structure
+    dispatch breakdown accounts for every dispatch stall exactly."""
+    trace = run_program(assemble(source))
+    result = simulate(trace, ProcessorConfig().with_mode(mode))
+    stats = result.stats
+    assert 0 <= stats.fetch_stall_cycles <= stats.cycles
+    assert 0 <= stats.rename_stall_cycles <= stats.cycles
+    assert 0 <= stats.dispatch_stall_cycles <= stats.cycles
+    assert sum(result.dispatch_stall_breakdown().values()) \
+        == stats.dispatch_stall_cycles
+
+
+@settings(max_examples=10, deadline=None)
+@given(stressful_programs(), st.sampled_from(list(FusionMode)))
+def test_topdown_slots_account_for_every_cycle(source, mode):
+    """Top-down CPI accounting: every commit slot of every cycle is
+    attributed to exactly one bucket, under any program and mode."""
+    config = ProcessorConfig().with_mode(mode)
+    trace = run_program(assemble(source))
+    result = simulate(trace, config)
+    buckets = result.cpi_buckets
+    assert all(slots >= 0 for slots in buckets.values())
+    assert sum(buckets.values()) \
+        == result.stats.cycles * config.commit_width
+    assert buckets["base"] >= result.stats.uops_committed

@@ -166,6 +166,95 @@ def test_sweep_validates_workload_names(tmp_path):
         engine.sweep([FusionMode.NONE], ["nope"])
 
 
+# ---- job failure isolation ---------------------------------------------------
+
+def test_sweep_keeps_siblings_when_one_job_crashes(monkeypatch):
+    from repro.experiments import engine as engine_mod
+    from repro.experiments.engine import SweepJobError
+
+    real = engine_mod._execute_job
+
+    def crashing(job):
+        name, _ = job
+        if name == "dijkstra":
+            raise RuntimeError("boom on %s" % name)
+        return real(job)
+
+    monkeypatch.setattr(engine_mod, "_execute_job", crashing)
+    engine = SweepEngine(jobs=1, use_cache=False, memo={})
+    with pytest.raises(SweepJobError) as excinfo:
+        engine.sweep([FusionMode.NONE], ["bitcount", "dijkstra"])
+    error = excinfo.value
+    # The failure names the exact (workload, mode) jobs and the cause.
+    assert [(w, m) for w, m, _ in error.failures] \
+        == [("dijkstra", "NoFusion")]
+    assert "boom on dijkstra" in str(error)
+    assert "dijkstra" in str(error) and "NoFusion" in str(error)
+    # The healthy sibling's result survived into the memo...
+    assert any(key.startswith("bitcount-") for key in engine.memo)
+    # ...so a retry only re-runs the failed job.
+    monkeypatch.setattr(engine_mod, "_execute_job", real)
+    calls = []
+
+    def counting(job):
+        calls.append(job[0])
+        return real(job)
+
+    monkeypatch.setattr(engine_mod, "_execute_job", counting)
+    results = engine.sweep([FusionMode.NONE], ["bitcount", "dijkstra"])
+    assert calls == ["dijkstra"]
+    assert set(results["bitcount"]) == {"NoFusion"}
+    assert set(results["dijkstra"]) == {"NoFusion"}
+
+
+def test_parallel_sweep_reports_failures_without_aborting(tmp_path):
+    # An unknown workload smuggled past validation makes the *worker*
+    # raise; the pool run must return the error instead of hanging or
+    # discarding the sibling results.
+    engine = SweepEngine(jobs=2, use_cache=False, memo={})
+    engine._preload = lambda jobs: None  # the bad job cannot preload
+    monkey_jobs = [("bitcount", ProcessorConfig()),
+                   ("not-a-workload", ProcessorConfig())]
+    outcomes = engine._execute(monkey_jobs)
+    assert len(outcomes) == 2
+    ok_flags = [ok for ok, _ in outcomes]
+    assert ok_flags == [True, False]
+    assert "not-a-workload" in str(outcomes[1][1]) \
+        or "unknown" in str(outcomes[1][1])
+
+
+def test_guarded_worker_stringifies_unpicklable_errors():
+    from repro.experiments.engine import _execute_job_guarded
+    ok, outcome = _execute_job_guarded(("no-such-workload",
+                                        ProcessorConfig()))
+    assert not ok
+    assert isinstance(outcome, str)
+    assert "no-such-workload" in outcome
+    assert outcome.startswith("KeyError")
+
+
+# ---- REPRO_JOBS parsing ------------------------------------------------------
+
+def test_default_jobs_parses_env(monkeypatch):
+    from repro.experiments.engine import JOBS_ENV, default_jobs
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv(JOBS_ENV, "3")
+    assert default_jobs() == 3
+    monkeypatch.setenv(JOBS_ENV, "auto")
+    assert default_jobs() >= 1
+    monkeypatch.setenv(JOBS_ENV, "0")  # documented shorthand for auto
+    assert default_jobs() >= 1
+
+
+@pytest.mark.parametrize("bad", ["four", "2.5", "-1", "many"])
+def test_default_jobs_rejects_invalid_env(monkeypatch, bad):
+    from repro.experiments.engine import JOBS_ENV, default_jobs
+    monkeypatch.setenv(JOBS_ENV, bad)
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+
+
 def test_ensure_known_lists_catalog():
     with pytest.raises(ValueError) as excinfo:
         ensure_known(["bitcount", "typo1", "typo2"])
