@@ -3,7 +3,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import FusionMode, ProcessorConfig, simulate_modes
+from repro import FusionMode, simulate_modes
 from repro.isa import assemble
 
 # A loop with load-pair, store-pair, and non-consecutive fusion

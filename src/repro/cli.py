@@ -12,6 +12,8 @@
     python -m repro trace export dijkstra     # trace -> portable JSON-lines
     python -m repro bench --quick             # wall-clock perf harness
     python -m repro debug 657.xz_1 --events-out xz.trace.json
+    python -m repro analyze dijkstra          # legality + differential
+    python -m repro analyze 657.xz_1 --mode Helios --explain 0x1a4
     python -m repro storage                   # Table II budget
 """
 
@@ -27,7 +29,8 @@ from repro.core.simulator import ipc_uplift, simulate, simulate_modes
 from repro.core.storage import helios_storage_budget
 from repro.experiments import (
     ResultCache, cpi_accounting, figure2, figure3, figure4, figure5,
-    figure8, figure9, figure10, run_suite, table1, table2, table3,
+    figure8, figure9, figure10, legality_census, run_suite,
+    table1, table2, table3,
 )
 from repro.workloads import (
     CATALOG, TraceStore, build_workload, ensure_known, workload_names,
@@ -37,6 +40,7 @@ _EXPERIMENTS = {
     "fig2": figure2, "fig3": figure3, "fig4": figure4, "fig5": figure5,
     "fig8": figure8, "fig9": figure9, "fig10": figure10,
     "table1": table1, "table3": table3, "cpi": cpi_accounting,
+    "legality": legality_census,
 }
 
 #: The simulation sweep each experiment needs (census-only experiments
@@ -271,6 +275,42 @@ def _cmd_debug(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Fusion-legality report + differential checks for workload(s)."""
+    import json
+
+    from repro.analysis import analyze_workload
+
+    names = _workload_list(args.workloads)
+    if not names:
+        raise SystemExit("analyze needs at least one workload name")
+    modes = [_parse_mode(args.mode)] if args.mode else None
+    payloads = []
+    failed = False
+    for index, name in enumerate(names):
+        if index:
+            print()
+        report = analyze_workload(name, modes=modes,
+                                  max_uops=args.max_uops,
+                                  sanitize=not args.no_sanitize)
+        print(report.render())
+        if args.explain is not None:
+            print()
+            verdicts = report.legality.explain_pc(args.explain)
+            if not verdicts:
+                print("no fusion candidates at pc 0x%x" % args.explain)
+            for verdict in verdicts:
+                print("  " + verdict.describe())
+        payloads.append(report.to_dict())
+        failed = failed or not report.ok
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payloads if len(payloads) > 1 else payloads[0],
+                      handle, indent=2)
+        print("wrote %s" % args.json)
+    return 1 if failed else 0
+
+
 def _cmd_storage(_args) -> int:
     print(helios_storage_budget().report())
     return 0
@@ -295,7 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
     exp.add_argument("name", help="fig2|fig3|fig4|fig5|fig8|fig9|fig10|"
-                                  "table1|table2|table3")
+                                  "table1|table2|table3|legality")
     exp.add_argument("--workloads",
                      help="comma-separated subset (default: all 32)")
     exp.add_argument("--fp-kind", choices=["tournament", "tage", "local"],
@@ -363,6 +403,27 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--max-uops", type=int, default=None, metavar="N",
                        help="dynamic µ-op cap for the trace")
     debug.set_defaults(func=_cmd_debug)
+
+    analyze = sub.add_parser(
+        "analyze", help="fusion-legality report + differential checker: "
+                        "prove every committed fused pair legal and the "
+                        "committed state bit-exact")
+    analyze.add_argument("workloads",
+                         help="comma-separated workload name(s)")
+    analyze.add_argument("--mode",
+                         help="one configuration (default: all six)")
+    analyze.add_argument("--max-uops", type=int, default=None, metavar="N",
+                         help="dynamic µ-op cap for the trace")
+    analyze.add_argument("--no-sanitize", action="store_true",
+                         help="skip the per-cycle µ-arch sanitizer "
+                              "(faster; legality checks still run)")
+    analyze.add_argument("--explain", type=lambda s: int(s, 0),
+                         metavar="PC", default=None,
+                         help="also print per-candidate verdicts for "
+                              "fusion heads at this PC (hex ok)")
+    analyze.add_argument("--json", metavar="FILE",
+                         help="write the machine-readable report here")
+    analyze.set_defaults(func=_cmd_analyze)
 
     sub.add_parser("storage", help="print the Table II storage budget") \
         .set_defaults(func=_cmd_storage)

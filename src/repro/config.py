@@ -133,10 +133,16 @@ class ProcessorConfig:
     #: observational — never changes timing — so it is excluded from
     #: the result-cache fingerprint (NON_TIMING_FIELDS).
     trace_events: bool = False
+    #: Arm the always-off µ-arch sanitizer (repro.analysis.sanitizer):
+    #: per-cycle RAT/ROB/LSQ/NCS invariant assertions.  Diagnostic
+    #: only — a run either raises SanitizerError or produces exactly
+    #: the same results, so it is excluded from the fingerprint.  Also
+    #: reachable via the REPRO_SANITIZE environment variable.
+    sanitize: bool = False
 
     #: Fields that cannot affect simulation outcomes; excluded from
     #: :meth:`fingerprint` so toggling them never invalidates caches.
-    NON_TIMING_FIELDS = ("trace_events",)
+    NON_TIMING_FIELDS = ("trace_events", "sanitize")
 
     def with_mode(self, mode: FusionMode) -> "ProcessorConfig":
         """A copy of this configuration with a different fusion mode."""

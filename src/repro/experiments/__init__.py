@@ -11,6 +11,7 @@ paper's evaluation (see DESIGN.md §5 for the experiment index).
 * :mod:`repro.experiments.tables` — Tables I, II, III.
 """
 
+from repro.experiments.analysis_suite import legality_census
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.engine import SweepEngine, SweepJobError
 from repro.experiments.figures import (
@@ -32,5 +33,6 @@ __all__ = [
     "figure2", "figure3", "figure4", "figure5",
     "figure8", "figure9", "figure10",
     "clear_cache", "get_result", "run_suite",
+    "legality_census",
     "table1", "table2", "table3",
 ]

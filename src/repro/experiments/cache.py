@@ -28,7 +28,12 @@ from repro.core.results import SimResult
 #: v2: top-down ``cpi_buckets`` in CoreStats, ``commit_width`` on
 #: SimResult, nan-aware ``fp_accuracy_pct`` — pre-observability
 #: entries would deserialize with empty buckets, so they must miss.
-CACHE_SCHEMA_VERSION = 2
+#: v3: ``deadlock_unfusions`` in CoreStats plus the memory-carried
+#: deadlock repairs and the same-dest load-pair rejection in the
+#: Helios decode path — pre-analyzer entries could hold timing
+#: produced by a run without the catalyst-deadlock and legality
+#: fixes, so they must miss.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

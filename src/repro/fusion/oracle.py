@@ -12,8 +12,19 @@ still honours the correctness constraints that any implementation must:
   the catalyst — on the head nucleus (the deadlock case, Section IV-B2);
 * no serializing µ-op inside the catalyst;
 * store pairs have no other store inside the catalyst (memory
-  consistency, Section IV-B4);
+  consistency, Section IV-B4) and no catalyst load partially
+  overlapping the head store's bytes (the load could neither forward
+  nor wait out the drain: a structural deadlock);
+* the deadlock rule tracks dependences carried through *memory* as
+  well as registers (a catalyst store of a tainted value forwarded to
+  a catalyst load re-taints the load's destination);
 * each µ-op fuses at most once (2-µop fusion).
+
+Every rejection carries a machine-readable
+:class:`~repro.analysis.legality.Reason`; pass ``reason_counts`` to
+collect the census.  The reference semantics live in
+:mod:`repro.analysis.legality` — the property tests assert this
+optimized scan never pairs outside the analyzer's legal set.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.legality import Reason
 from repro.fusion.idioms import match_idiom
 from repro.fusion.taxonomy import (
     BaseRegKind,
@@ -34,6 +46,11 @@ from repro.fusion.taxonomy import (
 from repro.isa.trace import MicroOp, Trace
 
 
+def _note(reason_counts: Optional[Dict[Reason, int]], reason: Reason) -> None:
+    if reason_counts is not None:
+        reason_counts[reason] = reason_counts.get(reason, 0) + 1
+
+
 def oracle_memory_pairs(trace: Sequence[MicroOp],
                         granularity: int = 64,
                         max_distance: int = 64,
@@ -41,13 +58,21 @@ def oracle_memory_pairs(trace: Sequence[MicroOp],
                         require_same_base: bool = False,
                         require_contiguous: bool = False,
                         allow_asymmetric: bool = True,
-                        stores_sbr_only: bool = True) -> List[FusedPair]:
+                        stores_sbr_only: bool = True,
+                        reason_counts: Optional[Dict[Reason, int]] = None,
+                        ) -> List[FusedPair]:
     """Greedy oldest-first oracle pairing of memory µ-ops.
 
     With ``consecutive_only``/``require_same_base``/``require_contiguous``
     the same routine also produces the restricted censuses used by the
     motivation figures (e.g. consecutive-contiguous-SBR pairs for
     Figure 4's `Contiguous` category).
+
+    ``reason_counts`` (optional, mutated in place) histograms the
+    :class:`Reason` for every same-kind candidate the scan examined and
+    declined.  Candidates past an early loop exit (serializing µ-op or
+    a catalyst store under a store head) are not enumerated; the exit
+    itself is counted once.
     """
     uops = list(trace)
     fused = [False] * (uops[-1].seq + 1 if uops else 0)
@@ -58,62 +83,132 @@ def oracle_memory_pairs(trace: Sequence[MicroOp],
         if not head.is_memory or fused[head.seq]:
             continue
         tainted = {head.dest} if head.dest is not None else set()
+        # Byte intervals whose contents depend on the head: the head
+        # store's own bytes, plus any catalyst store of a tainted
+        # value.  ``None`` until first needed (loads rarely taint
+        # memory), keeping the common path allocation-free.
+        tainted_mem = ([(head.addr, head.end_addr)] if head.is_store
+                       else None)
+        load_overlap = False  # catalyst load straddling the head store
         for j in range(i + 1, min(i + 1 + horizon, len(uops))):
             tail = uops[j]
             if tail.is_serializing:
+                _note(reason_counts, Reason.SERIALIZING_OP)
                 break  # cannot fuse across a fence / system op
-            if _eligible_pair(head, tail, tainted, fused, granularity,
-                              require_same_base, require_contiguous,
-                              allow_asymmetric, stores_sbr_only):
+            reason = _eligible_pair(head, tail, tainted, tainted_mem,
+                                    load_overlap, fused, granularity,
+                                    require_same_base, require_contiguous,
+                                    allow_asymmetric, stores_sbr_only)
+            if reason is Reason.LEGAL:
                 fused[head.seq] = True
                 fused[tail.seq] = True
                 pairs.append(make_memory_pair(head, tail, granularity))
                 break
-            # Propagate taint through the catalyst for deadlock detection.
+            if reason is not None:
+                _note(reason_counts, reason)
+            # Propagate taint through the catalyst for deadlock
+            # detection — through registers and through memory.
+            src_tainted = any(src in tainted for src in tail.srcs)
+            if (not src_tainted and tail.is_load and tainted_mem
+                    and _reads_any(tainted_mem, tail)):
+                src_tainted = True
+            if tail.is_store and src_tainted:
+                if tainted_mem is None:
+                    tainted_mem = []
+                tainted_mem.append((tail.addr, tail.end_addr))
             if tail.dest is not None:
-                if any(src in tainted for src in tail.srcs):
+                if src_tainted:
                     tainted.add(tail.dest)
                 else:
                     tainted.discard(tail.dest)
-            # A store in the catalyst forbids any later store pairing.
-            if head.is_store and tail.is_store:
-                break
+            if head.is_store:
+                # A store in the catalyst forbids any later store
+                # pairing; a partially-overlapping catalyst load
+                # forbids it too (deadlock), but later disjoint tails
+                # remain possible.
+                if tail.is_store:
+                    _note(reason_counts, Reason.ALIASING_STORE)
+                    break
+                if tail.is_load and not load_overlap \
+                        and _straddles(head, tail):
+                    load_overlap = True
     return pairs
 
 
+def _reads_any(ranges: List[Tuple[int, int]], uop: MicroOp) -> bool:
+    addr, end = uop.addr, uop.end_addr
+    for lo, hi in ranges:
+        if lo < end and addr < hi:
+            return True
+    return False
+
+
+def _straddles(head: MicroOp, load: MicroOp) -> bool:
+    """Does ``load`` overlap the head store's bytes without being fully
+    covered by them?  Such a load can neither forward from the fused
+    store pair nor survive waiting for its drain (the pair's commit
+    group contains the load), so the pair must never form."""
+    if load.addr >= head.end_addr or head.addr >= load.end_addr:
+        return False
+    return not (load.addr >= head.addr and load.end_addr <= head.end_addr)
+
+
 def _eligible_pair(head: MicroOp, tail: MicroOp, tainted: set,
+                   tainted_mem: Optional[List[Tuple[int, int]]],
+                   load_overlap: bool,
                    fused: List[bool], granularity: int,
                    require_same_base: bool, require_contiguous: bool,
-                   allow_asymmetric: bool, stores_sbr_only: bool) -> bool:
-    if head.is_load != tail.is_load or not tail.is_memory:
-        return False
+                   allow_asymmetric: bool,
+                   stores_sbr_only: bool) -> Optional[Reason]:
+    """:data:`Reason.LEGAL` when the pair may fuse, the first applicable
+    rejection :class:`Reason` otherwise; ``None`` for µ-ops that are not
+    same-kind memory candidates at all (not worth a census entry)."""
+    if not tail.is_memory or head.is_load != tail.is_load:
+        return None
     if fused[tail.seq]:
-        return False
+        return Reason.ALREADY_FUSED
     if not allow_asymmetric and head.size != tail.size:
-        return False
+        return Reason.ASYMMETRIC_SIZE
     same_base = head.base_reg == tail.base_reg
     if require_same_base and not same_base:
-        return False
+        return Reason.BASE_MISMATCH
     if head.is_store and stores_sbr_only and not same_base:
-        return False
+        return Reason.DBR_STORE
     if span(head.addr, head.size, tail.addr, tail.size) > granularity:
-        return False
-    contiguity = classify_contiguity(head, tail, granularity)
-    if require_contiguous and contiguity is not Contiguity.CONTIGUOUS:
-        return False
-    # Deadlock: the tail must not (transitively) consume the head's result.
+        return Reason.SPAN
+    if require_contiguous and classify_contiguity(
+            head, tail, granularity) is not Contiguity.CONTIGUOUS:
+        return Reason.NON_CONTIGUOUS
+    # Deadlock: the tail must not (transitively) consume the head's
+    # result — through registers or through memory (a tail load
+    # forwarding from a catalyst store of a tainted value).
     if any(src in tainted for src in tail.srcs):
-        return False
+        return Reason.DEADLOCK_DEPENDENCE
+    if tail.is_load and tainted_mem and _reads_any(tainted_mem, tail):
+        return Reason.DEADLOCK_DEPENDENCE
+    if head.is_store and load_overlap:
+        return Reason.CATALYST_LOAD_OVERLAP
     # A fused load pair writes two distinct destination registers.
     if head.is_load and head.dest is not None and head.dest == tail.dest:
-        return False
+        return Reason.SAME_DEST
     # Never take a pointer-chase step (a load overwriting its own base
     # register) as a *non-consecutive* tail: the fused µ-op would delay
     # the chase's critical dereference until the head's sources are
     # ready, which can only hurt.
-    if tail.seq != head.seq + 1 and tail.is_load             and tail.dest is not None and tail.dest == tail.base_reg:
-        return False
-    return True
+    if tail.seq != head.seq + 1 and tail.is_load \
+            and tail.dest is not None and tail.dest == tail.base_reg:
+        return Reason.POINTER_CHASE
+    return Reason.LEGAL
+
+
+def oracle_rejection_census(trace: Sequence[MicroOp],
+                            granularity: int = 64,
+                            max_distance: int = 64) -> Dict[Reason, int]:
+    """Reason histogram of one unrestricted oracle pairing pass."""
+    census: Dict[Reason, int] = {}
+    oracle_memory_pairs(trace, granularity=granularity,
+                        max_distance=max_distance, reason_counts=census)
+    return census
 
 
 #: Per-trace memo of the unrestricted oracle pairing, keyed by

@@ -101,11 +101,25 @@ class Memory:
     def resident_bytes(self) -> int:
         return len(self._pages) * _PAGE_SIZE
 
+    def snapshot(self) -> Dict[int, bytes]:
+        """Immutable image of resident memory, all-zero pages dropped.
+
+        Absent pages read as zero, so two memories are architecturally
+        identical iff their snapshots compare equal.  The differential
+        checker (repro.analysis.differential) compares a fresh
+        interpreter's snapshot against a replay of the pipeline's
+        committed store drains.
+        """
+        return {number: bytes(page)
+                for number, page in self._pages.items()
+                if any(page)}
+
 
 class Interpreter:
     """Executes a :class:`~repro.isa.program.Program` and records a trace."""
 
-    def __init__(self, program: Program, max_uops: int = 2_000_000):
+    def __init__(self, program: Program, max_uops: int = 2_000_000,
+                 record_stores: bool = False):
         self.program = program
         self.max_uops = max_uops
         self.regs: List[int] = [0] * NUM_ARCH_REGS
@@ -115,6 +129,10 @@ class Interpreter:
             self.memory.load_segment(base, data)
         self.halted = False
         self.uops: List[MicroOp] = []
+        #: seq -> size-masked stored value, when ``record_stores`` — the
+        #: ground truth the differential checker replays in drain order.
+        self.store_values: Optional[Dict[int, int]] = (
+            {} if record_stores else None)
 
     # -- register helpers -------------------------------------------------
 
@@ -156,6 +174,9 @@ class Interpreter:
                 self._write_reg(inst.rd, value)
             else:
                 self.memory.write(addr, regs[inst.rs2], inst.mem_size)
+                if self.store_values is not None:
+                    self.store_values[len(self.uops)] = (
+                        regs[inst.rs2] & ((1 << (8 * inst.mem_size)) - 1))
             self.uops.append(MicroOp(len(self.uops), inst, addr=addr))
             return next_index
 

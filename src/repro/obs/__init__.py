@@ -4,6 +4,7 @@ See DESIGN.md ("Observability") for the event schema, the top-down
 CPI bucket definitions, and Perfetto loading instructions.
 """
 
+from .commit_log import CommitLog
 from .registry import Counter, Histogram, NULL_REGISTRY, StatsRegistry
 from .events import (
     DEFAULT_RING_CAPACITY,
@@ -23,6 +24,7 @@ from .export import (
 )
 
 __all__ = [
+    "CommitLog",
     "Counter",
     "Histogram",
     "NULL_REGISTRY",

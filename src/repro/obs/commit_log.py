@@ -1,0 +1,79 @@
+"""Commit log: the pipeline's externally-checkable retirement record.
+
+An armed :class:`CommitLog` (pass one to
+:class:`~repro.pipeline.core.PipelineCore`) records, in commit order:
+
+* every committed µ-op (with its fused tail, if any) — the
+  differential checker replays this against the trace to prove
+  completeness (each sequence number commits exactly once, in order)
+  and fusion legality (every committed fused pair is in the statically
+  legal set);
+* every store-drain scheduling event with its per-sub-access byte
+  ranges — replaying the drains into a memory image must bit-match a
+  fresh interpreter run, which is the architectural-state half of the
+  differential check;
+* every UCH pair discovery (head/tail sequence numbers), so UCH
+  training can be audited against the hardware contract (same kind,
+  bounded distance, span within the access granularity).
+
+Like the event observer, the hook costs one ``is not None`` test per
+commit when disarmed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["CommitLog"]
+
+
+class CommitLog:
+    """Append-only record of commits, drains, and UCH discoveries."""
+
+    __slots__ = ("commits", "drains", "uch_pairs")
+
+    def __init__(self) -> None:
+        #: ``(head_seq, tail_seq_or_None, fusion_kind_or_None)``.
+        self.commits: List[Tuple[int, Optional[int], Optional[str]]] = []
+        #: ``(head_seq, ((addr, size, seq), ...))`` in drain-port order.
+        self.drains: List[Tuple[int, Tuple[Tuple[int, int, int], ...]]] = []
+        #: ``(head_seq, tail_seq, kind)`` with kind ``"load"``/``"store"``.
+        self.uch_pairs: List[Tuple[int, int, str]] = []
+
+    # -- recording hooks (called by the core) ---------------------------
+
+    def record_commit(self, uop) -> None:
+        tail = uop.tail
+        self.commits.append((
+            uop.seq,
+            tail.seq if tail is not None else None,
+            uop.fusion.value if tail is not None else None,
+        ))
+
+    def record_drain(self, entry) -> None:
+        self.drains.append((
+            entry.uop.seq,
+            tuple((sub.addr, sub.end - sub.addr, sub.seq)
+                  for sub in entry.subs),
+        ))
+
+    def record_uch_pair(self, head_seq: int, tail_seq: int,
+                        kind: str) -> None:
+        self.uch_pairs.append((head_seq, tail_seq, kind))
+
+    # -- queries --------------------------------------------------------
+
+    def committed_seqs(self) -> List[int]:
+        """Every architectural sequence number, in commit order."""
+        out: List[int] = []
+        for seq, tail_seq, _ in self.commits:
+            out.append(seq)
+            if tail_seq is not None:
+                out.append(tail_seq)
+        return out
+
+    def fused_pairs(self) -> List[Tuple[int, int, str]]:
+        """Committed fused pairs as ``(head_seq, tail_seq, kind)``."""
+        return [(seq, tail_seq, kind)
+                for seq, tail_seq, kind in self.commits
+                if tail_seq is not None]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from .registry import StatsRegistry
 

@@ -19,7 +19,7 @@ Two machine formats and two human formats:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from .events import EVENT_KINDS, STAGE_KINDS, Event, PipelineObserver
 

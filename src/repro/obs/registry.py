@@ -16,7 +16,7 @@ instruments under its own dotted name without touching
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List
 
 
 class Counter:

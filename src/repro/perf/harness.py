@@ -98,8 +98,10 @@ def _timed(fn):
 #: (falls back to the first benched workload when absent).
 OBS_OVERHEAD_WORKLOAD = "657.xz_1"
 
-#: Interleaved repetitions per variant for the overhead triple.
-OBS_OVERHEAD_REPS = 3
+#: Interleaved repetitions per variant for the overhead triple.  The
+#: headline deltas are a few percent of a ~0.6 s run, so the best-of-N
+#: needs more samples than the trend timings to beat scheduler noise.
+OBS_OVERHEAD_REPS = 7
 
 
 def measure_obs_overhead(trace, config, oracle_pairs=None,
@@ -113,11 +115,18 @@ def measure_obs_overhead(trace, config, oracle_pairs=None,
     * ``traced`` — a :class:`~repro.obs.PipelineObserver` attached:
       full event ring + occupancy sampling.
 
-    The three variants are interleaved and each takes its best-of-N,
-    so a load spike hits all of them rather than biasing one; the
-    headline ``noop_overhead_pct`` is a small difference between
-    large numbers and single runs would drown it in scheduler noise.
+    * ``sanitized`` — the µ-arch sanitizer armed
+      (:class:`~repro.analysis.sanitizer.Sanitizer`): per-cycle
+      invariant assertions over rename/LSQ/ROB state.  The companion
+      contract is ``sanitize_off_overhead_pct``: a default run must
+      not pay for the sanitizer hooks it isn't using.
+
+    The variants are interleaved and each takes its best-of-N, so a
+    load spike hits all of them rather than biasing one; the headline
+    ``noop_overhead_pct`` is a small difference between large numbers
+    and single runs would drown it in scheduler noise.
     """
+    from repro.analysis.sanitizer import Sanitizer
     from repro.obs import PipelineObserver
 
     def _run(**kwargs):
@@ -127,23 +136,43 @@ def measure_obs_overhead(trace, config, oracle_pairs=None,
         return seconds
 
     best = {"bare": float("inf"), "noop": float("inf"),
-            "traced": float("inf")}
+            "traced": float("inf"), "sanitized": float("inf"),
+            "sanitize_off": float("inf")}
     for _ in range(max(1, reps)):
+        # The paired variants run back-to-back (noop/sanitize_off are
+        # the same code; their delta is the claimed hook cost) and the
+        # sanitized run goes last: it is ~5x slower, and whatever
+        # thermal/frequency state it leaves behind must not land on a
+        # cheap variant mid-rep.
         best["bare"] = min(best["bare"], _run(topdown=False))
         best["noop"] = min(best["noop"], _run())
+        best["sanitize_off"] = min(best["sanitize_off"],
+                                   _run(sanitizer=None))
         best["traced"] = min(best["traced"],
                              _run(observer=PipelineObserver()))
+        best["sanitized"] = min(best["sanitized"],
+                                _run(sanitizer=Sanitizer()))
 
-    def _pct(variant: str) -> float:
-        return round(100.0 * (best[variant] / best["bare"] - 1.0), 2)
+    def _pct(variant: str, baseline: str = "bare") -> float:
+        return round(100.0 * (best[variant] / best[baseline] - 1.0), 2)
 
     return {
         "reps": max(1, reps),
         "bare_run_s": round(best["bare"], 4),
         "noop_run_s": round(best["noop"], 4),
         "traced_run_s": round(best["traced"], 4),
+        "sanitized_run_s": round(best["sanitized"], 4),
+        "sanitize_off_run_s": round(best["sanitize_off"], 4),
         "noop_overhead_pct": _pct("noop"),
         "traced_overhead_pct": _pct("traced"),
+        #: Cost of a diagnostic run with the sanitizer armed, over the
+        #: default run it replaces (both carry normal accounting).
+        "sanitize_on_overhead_pct": _pct("sanitized", "noop"),
+        #: Cost a default run pays for the disarmed sanitizer hooks:
+        #: an explicit ``sanitizer=None`` run against the default run.
+        #: The two execute the same code, so this measures the bench
+        #: noise floor the hooks must stay under (<2 %).
+        "sanitize_off_overhead_pct": _pct("sanitize_off", "noop"),
     }
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -52,6 +53,15 @@ def _seq_key(uop):
 
 #: Latency of a full store-to-load forward (SQ read instead of cache).
 STLF_LATENCY = 5
+
+#: Commit watchdog: if the ROB head is a fused pair and nothing has
+#: committed for this many cycles, assume a catalyst-carried dependence
+#: cycle the rename-time deadlock tags could not see (they do not
+#: propagate through memory) and unfuse the head.  Unfusing is always
+#: safe — the pair re-executes as two plain µ-ops — so a spurious trip
+#: merely costs one repair flush.  The threshold sits far above any
+#: legitimate commit stall (a DRAM miss plus queueing is < 400 cycles).
+DEADLOCK_WATCHDOG_CYCLES = 1024
 
 
 #: Top-down CPI accounting buckets, in canonical report order.  Every
@@ -140,6 +150,10 @@ class CoreStats:
     branch_mispredictions: int = 0
     order_violation_flushes: int = 0
     fusion_flushes: int = 0
+    #: Fused pairs broken because waiting would have deadlocked on the
+    #: pair's own catalyst (LSQ-detected store-pair shapes plus the
+    #: commit watchdog's memory-carried dependence cycles).
+    deadlock_unfusions: int = 0
     #: Top-down commit-slot attribution (bucket name -> slot count, see
     #: TOPDOWN_BUCKETS).  Empty when the core ran with topdown=False.
     cpi_buckets: Dict[str, int] = dataclasses.field(default_factory=dict)
@@ -184,7 +198,9 @@ class PipelineCore:
     def __init__(self, trace: Trace, config: ProcessorConfig,
                  oracle_pairs: Optional[List] = None,
                  observer: Optional["PipelineObserver"] = None,
-                 topdown: bool = True):
+                 topdown: bool = True,
+                 commit_log: Optional["CommitLog"] = None,
+                 sanitizer: Optional["Sanitizer"] = None):
         self.trace = list(trace)
         self.config = config
         mode = config.fusion_mode
@@ -194,6 +210,18 @@ class PipelineCore:
         self.observer = observer
         self._ev = observer
         self._topdown = topdown
+        #: Commit log (repro.obs.commit_log): retirement/drain/UCH
+        #: record for the differential checker.  Off by default.
+        self._clog = commit_log
+        #: µ-arch sanitizer (repro.analysis.sanitizer), armed by an
+        #: explicit instance, ``config.sanitize``, or REPRO_SANITIZE.
+        self._san = sanitizer
+        if self._san is None and (config.sanitize
+                                  or os.environ.get("REPRO_SANITIZE")):
+            from repro.analysis.sanitizer import (
+                Sanitizer, sanitize_env_enabled)
+            if config.sanitize or sanitize_env_enabled():
+                self._san = Sanitizer()
         self._slots: Dict[str, int] = {name: 0 for name in TOPDOWN_BUCKETS}
         self._committed_this_cycle = 0
         self._commit_stall_bucket: Optional[str] = None
@@ -292,6 +320,8 @@ class PipelineCore:
 
         self.commit_counter = 0
         self.now = 0
+        #: Cycle of the last commit progress, for the deadlock watchdog.
+        self._last_commit_cycle = 0
         self.stats = CoreStats()
 
         # Interrupt handling (Section IV-B3): an interrupt may only be
@@ -355,6 +385,10 @@ class PipelineCore:
                         commit_width - committed)
             if self._ev is not None:
                 self._sample_occupancy()
+            if self._san is not None:
+                self._san.check(self)
+        if self._san is not None:
+            self._san.final(self)
         self.stats.cycles = self.now
         if self._topdown:
             self.stats.cpi_buckets = dict(self._slots)
@@ -609,6 +643,14 @@ class PipelineCore:
             # paper finds them negligible (0.54%) and supports only
             # SBR store pair fusion (Section IV-B).
             return None
+        if head.is_load and head.head.dest is not None \
+                and head.head.dest == tail_mo.dest:
+            # A fused load pair writes two distinct registers; with the
+            # same architectural destination the RAT would keep naming
+            # the head's physical register after the tail's in-order
+            # write.  Destination specifiers are decode-visible, so
+            # hardware rejects the pair here too.
+            return None
         return head
 
     def _try_helios_fusion(self, uop: PipeUop):
@@ -859,6 +901,11 @@ class PipelineCore:
                 continue
             if isinstance(result, int):
                 flush_seq = result  # flush decided; stop issuing younger
+                if uop.complete_c is None:
+                    # A deadlock repair unfused a *different* µ-op; this
+                    # one has not executed — replay it after the flush.
+                    heapq.heappush(sleep, (now + 2, uop.seq, uop))
+                    continue
             ports[uop.opclass] -= 1
             budget -= 1
             uop.issue_c = now
@@ -924,6 +971,30 @@ class PipelineCore:
             # Unfuse and flush from the tail nucleus (the same repair
             # path as an address misprediction).
             return self._fusion_mispredict(uop)
+        if store is not None and len(store.subs) == 2 \
+                and store.subs[1].seq > uop.seq:
+            # The blocking store is a fused *pair* whose tail nucleus is
+            # younger than this load — this load lives inside the pair's
+            # catalyst window.  Rename-time deadlock tags cannot see
+            # dependences carried through memory, so two shapes deadlock:
+            #  * WAIT_STORE_DRAIN: the load partially overlaps the
+            #    pair's bytes and must wait for its drain — but drains
+            #    happen after the pair commits, and the pair's extended
+            #    commit group includes this load.  Always circular.
+            #  * WAIT_STORE_DATA where this load itself produces the
+            #    tail store's data: the forward needs the very late
+            #    data this load would produce.
+            # Unfusing the pair breaks the cycle; flushing from the
+            # tail nucleus refetches it as a plain store (the flush
+            # path unfuses the surviving head).
+            if block is LoadBlock.WAIT_STORE_DRAIN or (
+                    block is LoadBlock.WAIT_STORE_DATA
+                    and any(p is uop
+                            for p, _r in store.uop.late_producers)):
+                self.stats.fusion_flushes += 1
+                self.stats.deadlock_unfusions += 1
+                self._flush_cause = "fusion"
+                return store.subs[1].seq
         if block in (LoadBlock.WAIT_STORE_DATA, LoadBlock.WAIT_STORE_DRAIN,
                      LoadBlock.WAIT_STORE_ADDR):
             return "blocked"
@@ -1010,6 +1081,37 @@ class PipelineCore:
         else:
             entry.addr_known = True
             uop.complete_c = self.now + 1
+        return tail_seq
+
+    def _unfuse_inflight(self, uop: PipeUop) -> int:
+        """Unfuse a fused µ-op anywhere in flight; returns its tail seq.
+
+        The deadlock watchdog uses this on µ-ops that are not currently
+        executing (the stalled ROB head).  The head nucleus keeps any
+        execution state it already has; the caller flushes from the
+        returned seq so the tail nucleus refetches as a plain µ-op.
+        """
+        self.stats.fusion_flushes += 1
+        self._flush_cause = "fusion"
+        if uop.fp_prediction is not None and self.fp is not None:
+            self.fp.resolve(uop.fp_prediction, correct=False)
+            uop.fp_prediction = None
+        tail_seq = uop.tail.seq
+        before = uop.dests
+        uop.unfuse("deadlock")
+        if self._ev is not None:
+            self._ev.emit(self.now, "unfuse", uop.seq, "deadlock")
+        self.rename_unit.release([d for d in before if d not in uop.dests])
+        entry = self._lsq_entries.get(uop.seq)
+        if entry is not None:
+            entry.drop_tail()
+        # The head no longer waits on its catalyst: drop the extra
+        # producers and wake it if it was parked on one of them.
+        uop.extra_producers = []
+        if uop.parked and uop.in_iq:
+            uop.parked = False
+            self._iq_parked.discard(uop)
+            heapq.heappush(self._iq_sleep, (self.now + 1, uop.seq, uop))
         return tail_seq
 
     # ----------------------------------------------------------------- flush --
@@ -1133,6 +1235,20 @@ class PipelineCore:
         committed = 0
         config = self.config
         self._maybe_take_interrupt()
+        # Deadlock watchdog: a fused ROB head is the only µ-op whose
+        # completion can wait on *younger* µ-ops (its catalyst, via
+        # extra/late producers or LSQ forwarding).  Rename-time deadlock
+        # tags cannot see dependences carried through memory, so a
+        # catalyst-carried cycle would stall commit forever.  Unfuse
+        # the head after a hopeless stall — always safe, at worst one
+        # spurious repair flush on an extraordinarily slow catalyst.
+        if (self.rob
+                and self.now - self._last_commit_cycle
+                > DEADLOCK_WATCHDOG_CYCLES
+                and self.rob[0].tail is not None):
+            self._last_commit_cycle = self.now
+            self.stats.deadlock_unfusions += 1
+            self._flush_from(self._unfuse_inflight(self.rob[0]))
         # Record *why* the commit loop broke (for the top-down slot
         # accounting at end of cycle) so `_stall_slot_bucket` never has
         # to re-derive it with a second ROB scan.
@@ -1159,6 +1275,8 @@ class PipelineCore:
             uop.committed = True
             if self._ev is not None:
                 self._ev.emit(self.now, "commit", uop.seq)
+            if self._clog is not None:
+                self._clog.record_commit(uop)
             # Extended commit group tracking: a fused µ-op opens a group
             # covering everything up to its tail nucleus.
             if uop.tail is not None:
@@ -1181,6 +1299,8 @@ class PipelineCore:
                         self._schedule_drain(entry)
                         self.storeset.store_completed(uop.pc, uop.seq)
             committed += 1
+        if committed:
+            self._last_commit_cycle = self.now
         self._committed_this_cycle = committed
 
     def _commit_group_ready(self, uop: PipeUop) -> bool:
@@ -1228,7 +1348,7 @@ class PipelineCore:
         if self.uch_loads is not None and uop.is_memory and uop.tail is None:
             queue = self.uch_load_queue if uop.is_load else self.uch_store_queue
             queue.push(uop.pc, uop.head.addr, self.commit_counter,
-                       self.branch_pred.ghr)
+                       self.branch_pred.ghr, uop.seq)
         self.commit_counter += uop.instruction_count
 
     # ------------------------------------------------------------- store drain --
@@ -1240,6 +1360,8 @@ class PipelineCore:
         addr, size = entry.uop.mem_span
         access = self.memory.access(addr, size)
         entry.drained_c = start + access.latency
+        if self._clog is not None:
+            self._clog.record_drain(entry)
         self._draining.append(entry)
 
     def _drain_stores(self) -> None:
@@ -1255,7 +1377,15 @@ class PipelineCore:
     def _train_uch(self) -> None:
         if self.fp is None:
             return
-        for queue, uch in ((self.uch_load_queue, self.uch_loads),
-                           (self.uch_store_queue, self.uch_stores)):
+        clog = self._clog
+        for queue, uch, kind in ((self.uch_load_queue, self.uch_loads,
+                                  "load"),
+                                 (self.uch_store_queue, self.uch_stores,
+                                  "store")):
+            on_match = None
+            if clog is not None:
+                def on_match(pending, match, _kind=kind):
+                    clog.record_uch_pair(match.head_seq, pending.seq, _kind)
             queue.begin_cycle()
-            queue.drain(observe=uch.observe, train=self.fp.train)
+            queue.drain(observe=uch.observe, train=self.fp.train,
+                        on_match=on_match)

@@ -282,3 +282,79 @@ class RenameUnit:
 
     def writer_of(self, reg: int) -> Optional[PipeUop]:
         return self._writers.get(reg)
+
+    # -- sanitizer hooks --------------------------------------------------------
+
+    def sanitize_violations(self, live_uops, ghosts_in_latch) -> List[str]:
+        """Always-off invariant checks (armed by ``ProcessorConfig.sanitize``).
+
+        ``live_uops`` is every in-flight (renamed, unsquashed) µ-op the
+        core still tracks; ``ghosts_in_latch`` the validated tail ghosts
+        sitting in the rename latch (their heads' ``Active NCS`` slot is
+        already released but the head is still ``pending`` until the
+        ghost dispatches).  Returns human-readable violation strings;
+        empty means every invariant holds.
+        """
+        out: List[str] = []
+        cap_int = self.config.int_prf_size - 32
+        cap_fp = self.config.fp_prf_size - 32
+        if not 0 <= self.free_int <= cap_int:
+            out.append("free_int=%d outside [0, %d]: physical register "
+                       "leak or double release" % (self.free_int, cap_int))
+        if not 0 <= self.free_fp <= cap_fp:
+            out.append("free_fp=%d outside [0, %d]" % (self.free_fp, cap_fp))
+        # RAT <-> ROB consistency: every current mapping points at a
+        # committed µ-op or a live in-flight one — never at a squashed,
+        # uncommitted µ-op (the writer undo log must have unwound it).
+        live_ids = {id(u) for u in live_uops}
+        for reg, writer in self._writers.items():
+            if writer.squashed and not writer.committed:
+                out.append("RAT[%d] -> squashed uncommitted seq %d"
+                           % (reg, writer.seq))
+            elif not writer.committed and id(writer) not in live_ids:
+                out.append("RAT[%d] -> untracked in-flight seq %d"
+                           % (reg, writer.seq))
+        # NCS nesting-counter balance: Active NCS equals the pending
+        # NCSF heads that renamed, minus heads whose ghost validated
+        # but has not dispatched yet (the slot frees at ghost rename).
+        pending_heads = sum(
+            1 for u in live_uops
+            if u.fusion is FusionKind.NCSF and u.pending and u.rename_c)
+        validated_ghosts = sum(
+            1 for g in ghosts_in_latch
+            if g.ghost_of is not None and g.ghost_of.pending)
+        expected = pending_heads - validated_ghosts
+        if self.active_ncs != expected:
+            out.append(
+                "Active NCS=%d but %d pending renamed heads - %d "
+                "validated undispatched ghosts" %
+                (self.active_ncs, pending_heads, validated_ghosts))
+        if self.active_ncs < 0 or self.max_active_ncs < 0:
+            out.append("negative NCS counter: active=%d max=%d"
+                       % (self.active_ncs, self.max_active_ncs))
+        if self.max_active_ncs > self.config.ncsf_nesting:
+            out.append("max_active_ncs=%d exceeds configured nesting %d"
+                       % (self.max_active_ncs, self.config.ncsf_nesting))
+        # Deadlock-tag domain: tags are bitmasks of live nest levels.
+        # A bit at or above ``max_active_ncs`` can never be matched by
+        # a ghost, so a dependence could escape detection (acyclicity
+        # would be voided).
+        if self.max_active_ncs == 0:
+            if self.deadlock_tags:
+                out.append("deadlock tags outlive the nest: %r"
+                           % sorted(self.deadlock_tags))
+            if self.inside_ncs:
+                out.append("Inside-NCS bits outlive the nest: %r"
+                           % sorted(self.inside_ncs))
+            if self.ncsf_serializing or self.ncsf_storepair:
+                out.append("NCSF Serializing/StorePair bits outlive "
+                           "the nest")
+        else:
+            limit = 1 << self.max_active_ncs
+            for reg, bits in self.deadlock_tags.items():
+                if bits <= 0 or bits >= limit:
+                    out.append(
+                        "deadlock tag for reg %d has bits 0x%x outside "
+                        "live nest levels [0, %d)"
+                        % (reg, bits, self.max_active_ncs))
+        return out

@@ -25,20 +25,28 @@ _TAG_BITS = 32
 
 @dataclass
 class UCHMatch:
-    """A discovered fuseable pair: train FP[tail_pc] with ``distance``."""
+    """A discovered fuseable pair: train FP[tail_pc] with ``distance``.
+
+    ``head_seq`` is the head's trace sequence number when the caller
+    supplied one to :meth:`UnfusedCommittedHistory.observe` (the
+    commit log uses it to audit discoveries); ``-1`` otherwise.  It is
+    bookkeeping only — no hardware structure stores it.
+    """
 
     head_pc: int
     distance: int
+    head_seq: int = -1
 
 
 class _Entry:
-    __slots__ = ("valid", "tag", "cn", "pc")
+    __slots__ = ("valid", "tag", "cn", "pc", "seq")
 
     def __init__(self):
         self.valid = False
         self.tag = 0
         self.cn = 0
         self.pc = 0
+        self.seq = -1
 
 
 class UnfusedCommittedHistory:
@@ -60,12 +68,14 @@ class UnfusedCommittedHistory:
     def _tag_of(self, addr: int) -> int:
         return (addr >> self.line_shift) & ((1 << _TAG_BITS) - 1)
 
-    def observe(self, pc: int, addr: int, commit_number: int) -> Optional[UCHMatch]:
+    def observe(self, pc: int, addr: int, commit_number: int,
+                seq: int = -1) -> Optional[UCHMatch]:
         """Present one retiring unfused memory µ-op to the history.
 
         Returns a :class:`UCHMatch` when a fuseable pair is found (and
         invalidates the matching entry), otherwise inserts the µ-op and
-        returns ``None``.
+        returns ``None``.  ``seq`` is optional audit provenance,
+        carried through to :attr:`UCHMatch.head_seq`.
         """
         tag = self._tag_of(addr)
         cn = commit_number & _CN_MASK
@@ -75,13 +85,14 @@ class UnfusedCommittedHistory:
                 entry.valid = False
                 if 0 < distance <= self.max_distance:
                     self.matches += 1
-                    return UCHMatch(head_pc=entry.pc, distance=distance)
+                    return UCHMatch(head_pc=entry.pc, distance=distance,
+                                    head_seq=entry.seq)
                 # Stale (wrapped) entry: fall through and re-insert.
                 break
-        self._insert(pc, tag, cn)
+        self._insert(pc, tag, cn, seq)
         return None
 
-    def _insert(self, pc: int, tag: int, cn: int) -> None:
+    def _insert(self, pc: int, tag: int, cn: int, seq: int = -1) -> None:
         self.insertions += 1
         victim = None
         for entry in self.entries:
@@ -96,6 +107,7 @@ class UnfusedCommittedHistory:
         victim.tag = tag
         victim.cn = cn
         victim.pc = pc
+        victim.seq = seq
 
     def invalidate_all(self) -> None:
         for entry in self.entries:

@@ -21,6 +21,9 @@ class _PendingTrain:
     addr: int
     commit_number: int
     ghr: int
+    #: Trace sequence number of the committing µ-op — audit provenance
+    #: for the commit log, not a hardware field.
+    seq: int = -1
 
 
 class UCHUpdateQueue:
@@ -39,30 +42,38 @@ class UCHUpdateQueue:
     def begin_cycle(self) -> None:
         self._inserted_this_cycle = 0
 
-    def push(self, pc: int, addr: int, commit_number: int, ghr: int) -> bool:
+    def push(self, pc: int, addr: int, commit_number: int, ghr: int,
+             seq: int = -1) -> bool:
         """Offer one committing µ-op; returns False when dropped."""
         if (len(self._queue) >= self.capacity
                 or self._inserted_this_cycle >= self.inserts_per_cycle):
             self.dropped += 1
             return False
-        self._queue.append(_PendingTrain(pc, addr, commit_number, ghr))
+        self._queue.append(_PendingTrain(pc, addr, commit_number, ghr, seq))
         self._inserted_this_cycle += 1
         self.enqueued += 1
         return True
 
-    def drain(self, observe: Callable[[int, int, int], Optional[object]],
-              train: Callable[[int, int, int], None]) -> int:
+    def drain(self, observe: Callable[..., Optional[object]],
+              train: Callable[[int, int, int], None],
+              on_match: Optional[Callable[[object, object], None]] = None,
+              ) -> int:
         """Process up to ``drains_per_cycle`` entries.
 
-        ``observe(pc, addr, commit_number)`` is the UCH search/update;
-        when it returns a match, ``train(tail_pc, ghr, distance)``
-        updates the fusion predictor.
+        ``observe(pc, addr, commit_number, seq)`` is the UCH
+        search/update; when it returns a match, ``train(tail_pc, ghr,
+        distance)`` updates the fusion predictor and the optional
+        ``on_match(pending, match)`` audit hook (the commit log) sees
+        the discovery.
         """
         drained = 0
         while self._queue and drained < self.drains_per_cycle:
             pending = self._queue.popleft()
-            match = observe(pending.pc, pending.addr, pending.commit_number)
+            match = observe(pending.pc, pending.addr,
+                            pending.commit_number, pending.seq)
             if match is not None:
+                if on_match is not None:
+                    on_match(pending, match)
                 train(pending.pc, pending.ghr, match.distance)
             drained += 1
         return drained

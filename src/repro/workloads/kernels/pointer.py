@@ -159,15 +159,15 @@ def table_mix(iters: int = 2500, table_kb: int = 64, lookups: int = 4,
     output stores still pair contiguously.
     """
     body = list(_LCG_STEP)
-    for l in range(lookups):
+    for k in range(lookups):
         body += [
-            "srli t0, s0, %d" % (4 + 6 * l),
+            "srli t0, s0, %d" % (4 + 6 * k),
             "and t0, t0, s8",
             "andi t1, t0, 7",
             "sub t0, t0, t1",
             "add t2, t0, s10",
-            "ld a%d, 0(t2)" % (2 + l % 4),
-            "xor s3, s3, a%d" % (2 + l % 4),
+            "ld a%d, 0(t2)" % (2 + k % 4),
+            "xor s3, s3, a%d" % (2 + k % 4),
         ]
     for s in range(stores_per_iter):
         body.append("sd s3, %d(a5)" % (8 * s))

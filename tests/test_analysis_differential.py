@@ -1,0 +1,83 @@
+"""Differential checker: oracle/pipeline/interpreter cross-validation."""
+
+from repro.analysis.differential import (
+    _compare_streams,
+    analyze_workload,
+    check_pipeline,
+)
+from repro.analysis.legality import LegalityAnalyzer, analyze_trace_legality
+from repro.config import FusionMode, ProcessorConfig
+from repro.isa import assemble, run_program
+from repro.isa.trace import Trace
+
+
+def trace_of(source):
+    return run_program(assemble(source))
+
+
+FUSEABLE = """
+    li x1, 0x20000
+    ld x4, 0(x1)
+    ld x5, 8(x1)
+    sd x4, 16(x1)
+    sd x5, 24(x1)
+    ecall
+"""
+
+
+def test_analyze_workload_clean_on_catalog_sample():
+    report = analyze_workload(
+        "dijkstra", max_uops=2000,
+        modes=[FusionMode.NONE, FusionMode.HELIOS, FusionMode.ORACLE])
+    assert report.ok, [d.detail for d in report.divergences]
+    assert len(report.checks) == 3
+    for check in report.checks:
+        assert check.ok and check.cycles > 0
+    rendered = report.render()
+    assert "dijkstra" in rendered and "no divergences" in rendered
+    data = report.to_dict()
+    assert data["ok"] is True
+    assert data["legality"]["legal_pairs"] == len(report.legality.legal)
+
+
+def test_check_pipeline_commits_every_uop():
+    trace = trace_of(FUSEABLE)
+    legality = analyze_trace_legality(trace)
+    check = check_pipeline(
+        trace, ProcessorConfig(fusion_mode=FusionMode.ORACLE), legality)
+    assert check.ok
+    assert check.committed_pairs >= 1
+    assert check.sanitizer_checks > 0
+
+
+def test_check_pipeline_flags_illegal_committed_pair():
+    # Starve the legality report: every committed fused pair must then
+    # be reported as a divergence.
+    trace = trace_of(FUSEABLE)
+    legality = analyze_trace_legality(trace)
+    starved = type(legality)(
+        trace_name=legality.trace_name, uops=legality.uops,
+        granularity=legality.granularity,
+        max_distance=legality.max_distance,
+        rebinding=legality.rebinding, legal=frozenset(), candidates=0,
+        _analyzer=LegalityAnalyzer(trace))
+    check = check_pipeline(
+        trace, ProcessorConfig(fusion_mode=FusionMode.ORACLE), starved)
+    assert not check.ok
+    assert any(d.kind == "fused-illegal" for d in check.divergences)
+
+
+def test_check_pipeline_without_sanitizer():
+    trace = trace_of(FUSEABLE)
+    legality = analyze_trace_legality(trace)
+    check = check_pipeline(
+        trace, ProcessorConfig(), legality, sanitize=False)
+    assert check.ok and check.sanitizer_checks == 0
+
+
+def test_compare_streams_flags_length_and_content():
+    trace = trace_of(FUSEABLE)
+    truncated = Trace(name=trace.name, uops=trace.uops[:-1])
+    assert any(d.kind == "replay-stream"
+               for d in _compare_streams(trace, truncated))
+    assert _compare_streams(trace, trace) == []

@@ -1,0 +1,283 @@
+"""Unit tests for the static fusion-legality analyzer."""
+
+import pytest
+
+from repro.analysis.legality import (
+    AliasClass,
+    LegalityAnalyzer,
+    Reason,
+    analyze_trace_legality,
+)
+from repro.fusion.oracle import oracle_memory_pairs
+from repro.isa import assemble, run_program
+
+
+def trace_of(source):
+    return run_program(assemble(source))
+
+
+def verdict_for(trace, head_seq, tail_seq, **kwargs):
+    return LegalityAnalyzer(trace, **kwargs).classify_pair(head_seq, tail_seq)
+
+
+def test_adjacent_load_pair_legal():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x5, 8(x1)
+        ecall
+    """)
+    report = analyze_trace_legality(trace)
+    assert report.is_legal(1, 2)
+    verdict = report.explain(1, 2)
+    assert verdict.legal and verdict.alias is AliasClass.NO_ALIAS
+
+
+def test_register_deadlock_rejected():
+    trace = trace_of("""
+        li x2, 0x20000
+        ld x1, 0(x2)
+        add x3, x1, x2
+        ld x4, 0(x3)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 3)
+    assert Reason.DEADLOCK_DEPENDENCE in verdict.reasons
+
+
+def test_memory_carried_deadlock_rejected():
+    # The head's value travels through a catalyst store and back in
+    # through a catalyst load: register taint alone would miss it.
+    trace = trace_of("""
+        li x2, 0x20000
+        ld x1, 0(x2)
+        sd x1, 16(x2)
+        ld x5, 16(x2)
+        add x6, x5, x2
+        ld x4, 8(x2)
+        ecall
+    """)
+    # x6 = f(head) is the chain; the tail itself reads 8(x2) with base
+    # x2 (clean) — but pair (head, tail=ld x4) is clean of deadlock:
+    # check instead the tainted tail (head, ld x5 at 16(x2)).
+    verdict = verdict_for(trace, 1, 3)
+    assert Reason.DEADLOCK_DEPENDENCE in verdict.reasons
+    # The disjoint tail stays legal despite the aliasing traffic.
+    assert verdict_for(trace, 1, 5).legal
+
+
+def test_taint_cleared_by_overwrite():
+    trace = trace_of("""
+        li x2, 0x20000
+        li x9, 8
+        ld x1, 0(x2)
+        add x5, x1, x9
+        mv x5, x9
+        add x6, x5, x2
+        ld x4, 8(x2)
+        ecall
+    """)
+    assert verdict_for(trace, 2, 6).legal
+
+
+def test_serializing_op_rejected():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        fence
+        ld x5, 8(x1)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 3)
+    assert Reason.SERIALIZING_OP in verdict.reasons
+
+
+def test_span_rejected():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x5, 128(x1)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 2)
+    assert Reason.SPAN in verdict.reasons
+
+
+def test_same_dest_load_pair_rejected():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x4, 8(x1)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 2)
+    assert Reason.SAME_DEST in verdict.reasons
+
+
+def test_aliasing_store_rejects_store_pair():
+    trace = trace_of("""
+        li x1, 0x20000
+        sd x0, 0(x1)
+        sd x0, 24(x1)
+        sd x0, 8(x1)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 3)
+    assert Reason.ALIASING_STORE in verdict.reasons
+
+
+def test_catalyst_load_overlap_rejects_store_pair():
+    # The catalyst load straddles the head store's bytes: it can
+    # neither forward nor wait out the fused pair's drain.
+    trace = trace_of("""
+        li x1, 0x20000
+        sd x0, 0(x1)
+        ld x5, 4(x1)
+        sd x0, 16(x1)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 3)
+    assert Reason.CATALYST_LOAD_OVERLAP in verdict.reasons
+
+
+def test_covered_catalyst_load_keeps_store_pair_legal():
+    # Fully covered by the head's bytes: a clean store-to-load forward.
+    trace = trace_of("""
+        li x1, 0x20000
+        sd x0, 0(x1)
+        lw x5, 4(x1)
+        sd x0, 16(x1)
+        ecall
+    """)
+    assert verdict_for(trace, 1, 3).legal
+
+
+def test_dbr_store_pair_rejected():
+    trace = trace_of("""
+        li x1, 0x20000
+        li x2, 0x20010
+        sd x0, 0(x1)
+        sd x0, 0(x2)
+        ecall
+    """)
+    stores = [u.seq for u in trace.uops if u.is_store]
+    verdict = verdict_for(trace, stores[0], stores[1])
+    assert Reason.DBR_STORE in verdict.reasons
+
+
+def test_kind_mismatch_and_distance():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        sd x4, 8(x1)
+        ecall
+    """)
+    verdict = verdict_for(trace, 1, 2)
+    assert Reason.KIND_MISMATCH in verdict.reasons
+    distant = verdict_for(trace, 2, 1)
+    assert Reason.DISTANCE in distant.reasons
+
+
+def test_alias_lattice_annotations():
+    covers = trace_of("""
+        li x1, 0x20000
+        li x9, 7
+        ld x4, 0(x1)
+        sd x9, 8(x1)
+        ld x5, 8(x1)
+        ecall
+    """)
+    verdict = verdict_for(covers, 2, 4)
+    assert verdict.legal and verdict.alias is AliasClass.COVERS
+    partial = trace_of("""
+        li x1, 0x20000
+        li x9, 7
+        ld x4, 0(x1)
+        sw x9, 8(x1)
+        ld x5, 8(x1)
+        ecall
+    """)
+    verdict = verdict_for(partial, 2, 4)
+    assert verdict.legal and verdict.alias is AliasClass.PARTIAL
+
+
+def test_catalyst_written_base_rebinds_by_default():
+    # An untainted catalyst write to the tail's base register: Helios'
+    # ghost rename re-binds it, so legal by default, annotated; the
+    # strict (non-rebinding) classification rejects it.
+    trace = trace_of("""
+        li x1, 0x20000
+        li x2, 0x20000
+        ld x4, 0(x1)
+        mv x2, x1
+        ld x5, 8(x2)
+        ecall
+    """)
+    verdict = verdict_for(trace, 2, 4)
+    assert verdict.legal and verdict.rebound_srcs == (2,)
+    strict = verdict_for(trace, 2, 4, rebinding=False)
+    assert Reason.CATALYST_WRITES_BASE in strict.reasons
+
+
+def test_explain_pc_and_report_dict():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x5, 8(x1)
+        ecall
+    """)
+    report = analyze_trace_legality(trace)
+    head_pc = trace.uops[1].pc
+    verdicts = report.explain_pc(head_pc)
+    assert verdicts and verdicts[0].head_pc == head_pc
+    assert "legal" in verdicts[0].describe()
+    data = report.to_dict()
+    assert data["legal_pairs"] == len(report.legal)
+    assert data["candidates"] == report.candidates
+
+
+def test_unknown_seq_raises():
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ecall
+    """)
+    with pytest.raises(KeyError):
+        LegalityAnalyzer(trace).classify_pair(0, 99)
+
+
+@pytest.mark.parametrize("source", [
+    # A grab-bag of shapes: dependences, aliasing, overlap, fences.
+    """
+        li x1, 0x20000
+        li x9, 7
+        ld x4, 0(x1)
+        sd x9, 8(x1)
+        ld x5, 8(x1)
+        add x6, x5, x9
+        sd x6, 16(x1)
+        ld x7, 16(x1)
+        fence
+        ld x8, 24(x1)
+        ecall
+    """,
+    """
+        li x1, 0x20000
+        li x2, 0x20020
+        sd x0, 0(x1)
+        ld x5, 4(x1)
+        sd x0, 0(x2)
+        sd x0, 8(x1)
+        ld x6, 8(x2)
+        ld x7, 16(x2)
+        ecall
+    """,
+])
+def test_oracle_pairs_within_legal_set(source):
+    trace = trace_of(source)
+    report = analyze_trace_legality(trace)
+    for pair in oracle_memory_pairs(trace):
+        assert report.is_legal(pair.head_seq, pair.tail_seq), \
+            "oracle paired (%d, %d) outside the legal set: %s" % (
+                pair.head_seq, pair.tail_seq,
+                report.explain(pair.head_seq, pair.tail_seq).describe())

@@ -165,6 +165,9 @@ def test_bench_quick(capsys, tmp_path):
         if isinstance(timing, float):
             assert timing >= 0.0
     assert payload["capture_vs_replay_speedup"] is not None
+    obs = payload["observability"]
+    assert {"sanitized_run_s", "sanitize_on_overhead_pct",
+            "sanitize_off_overhead_pct"} <= set(obs)
 
 
 def test_bench_unknown_workload():

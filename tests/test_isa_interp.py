@@ -1,6 +1,5 @@
 """Tests for the functional interpreter."""
 
-import pytest
 
 from repro.isa import Interpreter, assemble, run_program
 from repro.isa.interp import Memory, _signed

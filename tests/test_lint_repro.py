@@ -1,0 +1,99 @@
+"""The bespoke AST lint (tools/lint_repro.py) and its rules."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import lint_repro  # noqa: E402
+
+CONFIG_SRC = """
+class ProcessorConfig:
+    fetch_width: int = 8
+    rob_size: int = 352
+    trace_events: bool = False
+
+    NON_TIMING_FIELDS = ("trace_events",)
+"""
+
+SAMPLES_SRC = """
+TIMING_FIELD_SAMPLES = {
+    "fetch_width": 4,
+    "rob_size": 128,
+}
+"""
+
+
+def test_config_fields_parsed():
+    assert lint_repro.config_fields(CONFIG_SRC) == \
+        ["fetch_width", "rob_size", "trace_events"]
+
+
+def test_non_timing_fields_parsed():
+    assert lint_repro.non_timing_fields(CONFIG_SRC) == ("trace_events",)
+
+
+def test_timing_sample_fields_parsed():
+    assert lint_repro.timing_sample_fields(SAMPLES_SRC) == \
+        ["fetch_width", "rob_size"]
+
+
+def test_timing_sample_fields_rejects_computed_keys():
+    with pytest.raises(ValueError):
+        lint_repro.timing_sample_fields("TIMING_FIELD_SAMPLES = {k: 1}")
+
+
+def test_classification_clean():
+    assert lint_repro.classification_errors(
+        ["a", "b", "c"], timing=["a", "b"], non_timing=["c"]) == []
+
+
+def test_classification_flags_unclassified():
+    errors = lint_repro.classification_errors(
+        ["a", "b"], timing=["a"], non_timing=[])
+    assert len(errors) == 1 and "'b'" in errors[0]
+
+
+def test_classification_flags_double_claim():
+    errors = lint_repro.classification_errors(
+        ["a"], timing=["a"], non_timing=["a"])
+    assert len(errors) == 1 and "both" in errors[0]
+
+
+def test_classification_flags_stale_entry():
+    errors = lint_repro.classification_errors(
+        ["a"], timing=["a", "removed_field"], non_timing=[])
+    assert len(errors) == 1 and "not a ProcessorConfig field" in errors[0]
+
+
+def test_stats_mutation_flags_subscript_store():
+    errors = lint_repro.stats_mutation_errors(
+        "self.stats.cpi_buckets['base'] = 1\n", "core.py")
+    assert len(errors) == 1 and errors[0].startswith("core.py:1")
+
+
+def test_stats_mutation_flags_augmented_store():
+    src = "core.stats.buckets['x'] += n\n"
+    assert len(lint_repro.stats_mutation_errors(src)) == 1
+
+
+def test_stats_mutation_flags_delete():
+    assert len(lint_repro.stats_mutation_errors(
+        "del self.stats.extra['x']\n")) == 1
+
+
+def test_stats_mutation_allows_local_dicts_and_attributes():
+    src = (
+        "slots['base'] += committed\n"          # local working dict
+        "self.stats.cpi_buckets = dict(slots)\n"  # attribute publish
+        "self.stats.loads += 1\n"               # plain counter
+        "value = self.stats.cpi_buckets['base']\n"  # read is fine
+    )
+    assert lint_repro.stats_mutation_errors(src) == []
+
+
+def test_repo_passes_lint():
+    assert lint_repro.run(ROOT) == []

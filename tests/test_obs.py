@@ -11,7 +11,6 @@ import pytest
 from repro.config import FusionMode, ProcessorConfig
 from repro.core.simulator import simulate
 from repro.obs import (
-    DEFAULT_RING_CAPACITY,
     EVENT_KINDS,
     EventRing,
     NULL_REGISTRY,

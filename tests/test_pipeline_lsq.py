@@ -118,7 +118,7 @@ def test_violation_detection_on_store_resolve():
     unit = make_unit()
     store, load = mem_uops([("st", 0), ("ld", 0)])
     store_entry = unit.allocate(store)
-    load_entry = unit.allocate(load)
+    unit.allocate(load)
     # The load issued speculatively before the store resolved.
     load.issue_c = 5
     load.complete_c = 10
@@ -130,7 +130,7 @@ def test_violation_detection_on_store_resolve():
 def test_no_violation_when_load_older():
     unit = make_unit()
     load, store = mem_uops([("ld", 0), ("st", 0)])
-    load_entry = unit.allocate(load)
+    unit.allocate(load)
     store_entry = unit.allocate(store)
     load.issue_c = 5
     load.complete_c = 10

@@ -3,7 +3,6 @@ gate, and the Spike-log ``max_uops`` lookahead boundary."""
 
 import io
 import json
-import struct
 import zlib
 
 import pytest
@@ -11,7 +10,6 @@ import pytest
 from repro import FusionMode, ProcessorConfig, simulate
 from repro.isa import assemble, run_program
 from repro.isa.trace_io import (
-    TRACE_BINARY_MAGIC,
     TRACE_BINARY_VERSION,
     TRACE_JSON_VERSION,
     TraceFormatError,

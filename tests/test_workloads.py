@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fusion.oracle import analyze_trace
-from repro.isa import assemble, run_program
 from repro.workloads import (
     CATALOG,
     build_program,

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Repo-specific AST lints, run in CI next to ruff.
+
+Two rules the generic linters cannot express:
+
+1. **Config classification** — every ``ProcessorConfig`` dataclass
+   field must be claimed either by
+   ``ProcessorConfig.NON_TIMING_FIELDS`` (observational, excluded from
+   the cache fingerprint) or by the ``TIMING_FIELD_SAMPLES`` table in
+   ``tests/test_config_fingerprint.py`` (which proves the field moves
+   the fingerprint).  A field in neither place means nobody decided
+   whether it affects results — that silently poisons the persistent
+   result cache, so it fails CI.  A field in both places is a
+   contradiction and also fails.
+
+2. **Stats mutation boundary** — no module under
+   ``src/repro/pipeline/`` may write through a subscript into a
+   ``stats`` object (``self.stats.cpi_buckets["x"] += 1`` and
+   friends).  Pipeline stats are either plain ``CoreStats`` attribute
+   increments or go through :class:`repro.obs.StatsRegistry`
+   instruments; ad-hoc dict pokes bypass both the null-registry
+   zero-overhead mode and the cache schema.
+
+Usage: ``python tools/lint_repro.py [--root DIR]``; exits non-zero on
+any violation.  The rule implementations are importable pure functions
+over source text so ``tests/test_lint_repro.py`` can exercise them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+CONFIG_PATH = "src/repro/config.py"
+SAMPLES_PATH = "tests/test_config_fingerprint.py"
+PIPELINE_DIR = "src/repro/pipeline"
+
+
+# -- rule 1: ProcessorConfig field classification ----------------------------
+
+def config_fields(source: str) -> List[str]:
+    """Dataclass field names of ``ProcessorConfig`` (annotated assigns)."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "ProcessorConfig":
+            return [item.target.id for item in node.body
+                    if isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)]
+    raise ValueError("no ProcessorConfig class found")
+
+
+def non_timing_fields(source: str) -> Tuple[str, ...]:
+    """The literal ``NON_TIMING_FIELDS`` tuple inside ProcessorConfig."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "ProcessorConfig":
+            for item in node.body:
+                if isinstance(item, ast.Assign) \
+                        and any(isinstance(t, ast.Name)
+                                and t.id == "NON_TIMING_FIELDS"
+                                for t in item.targets):
+                    return tuple(ast.literal_eval(item.value))
+    raise ValueError("no NON_TIMING_FIELDS assignment found")
+
+
+def timing_sample_fields(source: str) -> List[str]:
+    """Keys of the ``TIMING_FIELD_SAMPLES`` dict in the fingerprint test."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name)
+                        and t.id == "TIMING_FIELD_SAMPLES"
+                        for t in node.targets) \
+                and isinstance(node.value, ast.Dict):
+            keys = []
+            for key in node.value.keys:
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    raise ValueError(
+                        "TIMING_FIELD_SAMPLES keys must be string literals")
+                keys.append(key.value)
+            return keys
+    raise ValueError("no TIMING_FIELD_SAMPLES dict found")
+
+
+def classification_errors(fields: Sequence[str],
+                          timing: Sequence[str],
+                          non_timing: Sequence[str]) -> List[str]:
+    errors = []
+    timing_set, non_timing_set = set(timing), set(non_timing)
+    for name in fields:
+        if name in timing_set and name in non_timing_set:
+            errors.append(
+                "field %r is claimed both timing (TIMING_FIELD_SAMPLES) "
+                "and non-timing (NON_TIMING_FIELDS)" % name)
+        elif name not in timing_set and name not in non_timing_set:
+            errors.append(
+                "field %r is unclassified: add it to TIMING_FIELD_SAMPLES "
+                "in %s (it changes results) or to "
+                "ProcessorConfig.NON_TIMING_FIELDS (it cannot)"
+                % (name, SAMPLES_PATH))
+    known = set(fields)
+    for name in sorted((timing_set | non_timing_set) - known):
+        errors.append("%r is classified but is not a ProcessorConfig "
+                      "field" % name)
+    return errors
+
+
+# -- rule 2: pipeline stats-mutation boundary --------------------------------
+
+def _chain_names(node: ast.AST) -> List[str]:
+    """Dotted-name parts of an attribute chain (``a.b.c`` -> a, b, c)."""
+    names: List[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return names
+
+
+def _is_stats_subscript(target: ast.AST) -> bool:
+    return (isinstance(target, ast.Subscript)
+            and "stats" in _chain_names(target.value))
+
+
+def stats_mutation_errors(source: str, path: str = "<source>") -> List[str]:
+    """Subscript writes through a ``stats`` attribute chain."""
+    errors = []
+    for node in ast.walk(ast.parse(source)):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                targets.extend(target.elts)
+                continue
+            if _is_stats_subscript(target):
+                errors.append(
+                    "%s:%d: direct stats-dict mutation; use a "
+                    "repro.obs.StatsRegistry instrument or a plain "
+                    "CoreStats attribute" % (path, node.lineno))
+    return errors
+
+
+# -- driver ------------------------------------------------------------------
+
+def run(root: Path) -> List[str]:
+    errors: List[str] = []
+    config_src = (root / CONFIG_PATH).read_text(encoding="utf-8")
+    samples_src = (root / SAMPLES_PATH).read_text(encoding="utf-8")
+    errors.extend(classification_errors(
+        config_fields(config_src),
+        timing_sample_fields(samples_src),
+        non_timing_fields(config_src)))
+    for path in sorted((root / PIPELINE_DIR).rglob("*.py")):
+        errors.extend(stats_mutation_errors(
+            path.read_text(encoding="utf-8"),
+            str(path.relative_to(root))))
+    return errors
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this file's repo)")
+    args = parser.parse_args(argv)
+    errors = run(args.root)
+    for error in errors:
+        print("lint_repro: %s" % error, file=sys.stderr)
+    if not errors:
+        print("lint_repro: ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
