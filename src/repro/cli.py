@@ -11,6 +11,7 @@
     python -m repro trace                     # inspect the trace store
     python -m repro trace export dijkstra     # trace -> portable JSON-lines
     python -m repro bench --quick             # wall-clock perf harness
+    python -m repro profile 605.mcf --mode Helios --top 20
     python -m repro debug 657.xz_1 --events-out xz.trace.json
     python -m repro analyze dijkstra          # legality + differential
     python -m repro analyze 657.xz_1 --mode Helios --explain 0x1a4
@@ -200,10 +201,13 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.perf import run_bench, write_bench
+    from repro.perf import (compare_with_previous, load_bench, run_bench,
+                            write_bench)
     workloads = _workload_list(args.workloads)
+    previous = load_bench(args.output)
     payload = run_bench(workloads=workloads, quick=args.quick,
                         max_uops=args.max_uops)
+    compare_with_previous(payload, previous)
     path = write_bench(payload, args.output)
     totals = payload["totals"]
     print("bench: %d workload(s), modes: %s"
@@ -226,7 +230,53 @@ def _cmd_bench(args) -> int:
                  obs["bare_run_s"]))
         print("    traced %+6.2f%%  (%.3f s)"
               % (obs["traced_overhead_pct"], obs["traced_run_s"]))
+    throughput = payload.get("throughput") or {}
+    if throughput.get("aggregate_uops_per_s"):
+        print("  aggregate throughput: %d µops/s  (%d µ-ops in %.3f s)"
+              % (throughput["aggregate_uops_per_s"],
+                 throughput["aggregate_uops"],
+                 throughput["aggregate_run_s"]))
+    delta = payload.get("vs_previous")
+    if delta and delta.get("aggregate_speedup"):
+        verdict = ("cycles identical" if delta["cycles_identical"]
+                   else "TIMING CHANGED: %d cell(s) moved"
+                   % len(delta["cycle_mismatches"]))
+        print("  vs previous bench (%s): %.3fx aggregate µops/s, "
+              "%d cells compared, %s"
+              % (delta.get("previous_timestamp"),
+                 delta["aggregate_speedup"], delta["cells_compared"],
+                 verdict))
     print("wrote %s" % path)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """cProfile one (workload, mode) pipeline run with stage attribution."""
+    import json
+
+    from repro.perf import (dump_pstats, profile_run, render_profile,
+                            serializable)
+
+    if args.workload not in CATALOG:
+        raise SystemExit("unknown workload %r (see `repro workloads`)"
+                         % args.workload)
+    mode = _parse_mode(args.mode) if args.mode else FusionMode.HELIOS
+    payload = profile_run(args.workload, mode=mode,
+                          max_uops=args.max_uops,
+                          config=_config_from(args), top=args.top)
+    # Write artifacts before printing: a downstream `| head` closing
+    # the pipe must not cost the files.
+    if args.pstats_out:
+        dump_pstats(payload, args.pstats_out)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(serializable(payload), handle, indent=2)
+    print(render_profile(payload))
+    if args.pstats_out:
+        print("\nwrote raw profile to %s (snakeviz/pstats-compatible)"
+              % args.pstats_out)
+    if args.json_out:
+        print("wrote profile payload to %s" % args.json_out)
     return 0
 
 
@@ -386,6 +436,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_pipeline.json",
                        metavar="FILE", help="output path")
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one pipeline run: host time by stage, "
+                        "hottest functions, top-down CPI buckets")
+    profile.add_argument("workload")
+    profile.add_argument("--mode", help="configuration (default: Helios)")
+    profile.add_argument("--fp-kind",
+                         choices=["tournament", "tage", "local"],
+                         help="fusion predictor organization for Helios")
+    profile.add_argument("--max-uops", type=int, default=None, metavar="N",
+                         help="dynamic µ-op cap for the trace")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="hottest functions to list (default 15)")
+    profile.add_argument("--pstats-out", metavar="FILE",
+                         help="dump the raw cProfile stats here")
+    profile.add_argument("--json-out", metavar="FILE",
+                         help="write the JSON payload here")
+    profile.set_defaults(func=_cmd_profile)
 
     debug = sub.add_parser(
         "debug", help="observability deep-dive: top-down CPI breakdown, "

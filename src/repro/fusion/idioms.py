@@ -120,10 +120,33 @@ MEMORY_IDIOMS: Tuple[Idiom, ...] = (
 
 IDIOMS: Tuple[Idiom, ...] = MEMORY_IDIOMS + OTHER_IDIOMS
 
+#: Head mnemonics that can open each idiom.  Every idiom matcher first
+#: tests ``head.mnemonic``, so dispatching on it up front skips the
+#: matchers that cannot possibly fire — most dynamic pairs hit none.
+_HEAD_MNEMONICS = {
+    "lui_addi": ("lui",),
+    "auipc_addi": ("auipc",),
+    "slli_add": ("slli",),
+    "slli_srli": ("slli",),
+    "load_global": ("lui",),
+    "mulh_mul": ("mulh", "mulhu", "mulhsu"),
+    "div_rem": ("div", "divu", "divw", "divuw"),
+}
+
+#: head mnemonic -> the idioms it can open, in Table I (priority) order.
+_IDIOMS_BY_HEAD: dict = {}
+for _idiom in OTHER_IDIOMS:
+    for _mnemonic in _HEAD_MNEMONICS[_idiom.name]:
+        _IDIOMS_BY_HEAD[_mnemonic] = \
+            _IDIOMS_BY_HEAD.get(_mnemonic, ()) + (_idiom,)
+del _idiom, _mnemonic
+
+_NO_IDIOMS: Tuple[Idiom, ...] = ()
+
 
 def match_idiom(head: Instruction, tail: Instruction) -> Optional[Idiom]:
     """Match the non-memory Table I idioms, oldest-priority."""
-    for idiom in OTHER_IDIOMS:
+    for idiom in _IDIOMS_BY_HEAD.get(head.mnemonic, _NO_IDIOMS):
         if idiom.matcher(head, tail):
             return idiom
     return None

@@ -33,6 +33,11 @@ class ConsecutiveFusionWindow:
         self.fuse_memory = fuse_memory
         self.fuse_others = fuse_others
         self.allow_asymmetric = allow_asymmetric
+        # match_kind memo, keyed by static Instruction identity.  The
+        # window lives on one core, which pins its trace (and therefore
+        # every Instruction that can reach here) for the cache lifetime,
+        # so id() keys cannot be recycled under us.
+        self._kind_cache: dict = {}
 
     @classmethod
     def for_mode(cls, mode: FusionMode) -> Optional["ConsecutiveFusionWindow"]:
@@ -47,6 +52,33 @@ class ConsecutiveFusionWindow:
             fuse_memory=mode.fuses_memory_pairs,
             fuse_others=mode.fuses_other_idioms,
         )
+
+    def match_kind(self, head: MicroOp, tail: MicroOp):
+        """``(idiom name, is_memory)`` for a fuseable pair, else None.
+
+        The fuse/no-fuse verdict (unlike :meth:`match`'s contiguity
+        classification) depends only on the *static* instruction pair,
+        which repeats across the dynamic trace — so the pipeline's
+        per-decode-group probe is served from a memo.
+        """
+        key = (id(head.inst), id(tail.inst))
+        cache = self._kind_cache
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        result = None
+        if self.fuse_memory and head.is_memory and tail.is_memory:
+            kind = match_memory_pair(head.inst, tail.inst,
+                                     allow_asymmetric=self.allow_asymmetric)
+            if kind is not None:
+                result = (kind, True)
+        if result is None and self.fuse_others:
+            idiom = match_idiom(head.inst, tail.inst)
+            if idiom is not None:
+                result = (idiom.name, False)
+        cache[key] = result
+        return result
 
     def match(self, head: MicroOp, tail: MicroOp) -> Optional[FusedPair]:
         """Match one adjacent (in-window) pair; None when not fuseable."""

@@ -43,8 +43,13 @@ class MicroOp:
     """
 
     __slots__ = (
-        "seq", "inst", "pc", "opclass", "dest", "srcs",
+        "seq", "inst", "pc", "opclass", "opclass_i", "dest", "srcs",
         "addr", "size", "taken", "target_pc",
+        # Predicates precomputed at construction: the pipeline and the
+        # fusion window test them once or more per µ-op per stage, and
+        # a slot read is several times cheaper than a property call.
+        "is_load", "is_store", "is_memory", "is_branch", "is_control",
+        "is_serializing",
     )
 
     def __init__(self, seq: int, inst: Instruction, addr: int = 0,
@@ -52,37 +57,27 @@ class MicroOp:
         self.seq = seq
         self.inst = inst
         self.pc = inst.pc
-        self.opclass = inst.opclass
+        opclass = inst.opclass
+        self.opclass = opclass
+        # Plain-int mirror: the pipeline indexes port quotas and
+        # latency tables per µ-op, where IntEnum.__index__ is overhead.
+        self.opclass_i = opclass._value_
         self.dest = inst.destination
         self.srcs = inst.sources
         self.addr = addr
         self.size = inst.mem_size
         self.taken = taken
         self.target_pc = target_pc
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opclass is OpClass.LOAD or self.opclass is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass is OpClass.BRANCH
-
-    @property
-    def is_control(self) -> bool:
-        return self.opclass is OpClass.BRANCH or self.opclass is OpClass.JUMP
-
-    @property
-    def is_serializing(self) -> bool:
-        return self.opclass is OpClass.FENCE or self.opclass is OpClass.SYSTEM
+        is_load = opclass is OpClass.LOAD
+        is_store = opclass is OpClass.STORE
+        is_branch = opclass is OpClass.BRANCH
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_memory = is_load or is_store
+        self.is_branch = is_branch
+        self.is_control = is_branch or opclass is OpClass.JUMP
+        self.is_serializing = (opclass is OpClass.FENCE
+                               or opclass is OpClass.SYSTEM)
 
     @property
     def base_reg(self) -> Optional[int]:

@@ -21,6 +21,10 @@ from repro.memory.tlb import TLB
 class AccessResult:
     """Latency and classification of one (possibly fused) access."""
 
+    # One instance per simulated data access: worth slotting.  Manual
+    # tuple instead of ``@dataclass(slots=True)`` for Python 3.9.
+    __slots__ = ("latency", "crossed_line", "level")
+
     latency: int
     crossed_line: bool
     level: str  # "L1", "L2", "L3", "DRAM"
@@ -40,17 +44,19 @@ class MemoryHierarchy:
         self.line_bytes = config.l1d.line_bytes
         self.line_crossings = 0
 
-    def _line_latency(self, addr: int) -> AccessResult:
+    def _line_latency(self, addr: int):
+        """(latency, level) of one line probe — a tuple, not an
+        AccessResult: this runs once or twice per data access and the
+        dataclass construction is measurable there."""
         if self.l1d.lookup(addr):
-            return AccessResult(self.l1d.latency, False, "L1")
+            return self.l1d.latency, "L1"
         if self.l2.lookup(addr):
-            return AccessResult(self.l1d.latency + self.l2.latency, False, "L2")
+            return self.l1d.latency + self.l2.latency, "L2"
         if self.l3.lookup(addr):
-            return AccessResult(
-                self.l1d.latency + self.l2.latency + self.l3.latency, False, "L3")
-        return AccessResult(
-            self.l1d.latency + self.l2.latency + self.l3.latency
-            + self.dram_latency, False, "DRAM")
+            return (self.l1d.latency + self.l2.latency + self.l3.latency,
+                    "L3")
+        return (self.l1d.latency + self.l2.latency + self.l3.latency
+                + self.dram_latency, "DRAM")
 
     def access(self, addr: int, size: int) -> AccessResult:
         """One load/store access of ``size`` bytes starting at ``addr``.
@@ -60,17 +66,41 @@ class MemoryHierarchy:
         the crossing penalty.
         """
         tlb_penalty = self.dtlb.access(addr)
-        first_line = addr // self.line_bytes
-        last_line = (addr + max(size, 1) - 1) // self.line_bytes
-        result = self._line_latency(addr)
+        line_bytes = self.line_bytes
+        first_line = addr // line_bytes
+        last_line = (addr + max(size, 1) - 1) // line_bytes
+        latency, level = self._line_latency(addr)
         if last_line != first_line:
             self.line_crossings += 1
-            second = self._line_latency(last_line * self.line_bytes)
-            latency = (max(result.latency, second.latency)
-                       + self.config.line_crossing_penalty)
-            level = second.level if second.latency > result.latency else result.level
+            second_latency, second_level = self._line_latency(
+                last_line * line_bytes)
+            if second_latency > latency:
+                latency, level = second_latency, second_level
+            latency += self.config.line_crossing_penalty
             return AccessResult(latency + tlb_penalty, True, level)
-        return AccessResult(result.latency + tlb_penalty, False, result.level)
+        return AccessResult(latency + tlb_penalty, False, level)
+
+    def access_latency(self, addr: int, size: int) -> int:
+        """Latency of one access — :meth:`access` minus the result object.
+
+        The pipeline only ever consumes ``AccessResult.latency``, and it
+        performs one or two of these per memory µ-op, so the fast path
+        skips the dataclass construction.  Bookkeeping (TLB, recency,
+        line-crossing counters) is identical to :meth:`access`.
+        """
+        tlb_penalty = self.dtlb.access(addr)
+        line_bytes = self.line_bytes
+        first_line = addr // line_bytes
+        last_line = (addr + max(size, 1) - 1) // line_bytes
+        latency, _level = self._line_latency(addr)
+        if last_line != first_line:
+            self.line_crossings += 1
+            second_latency, _level = self._line_latency(
+                last_line * line_bytes)
+            if second_latency > latency:
+                latency = second_latency
+            latency += self.config.line_crossing_penalty
+        return latency + tlb_penalty
 
     def fetch_line(self, pc: int) -> int:
         """Instruction fetch of the line containing ``pc``.

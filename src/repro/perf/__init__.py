@@ -12,8 +12,16 @@ from repro.perf.harness import (
     DEFAULT_BENCH_WORKLOADS,
     QUICK_BENCH_WORKLOADS,
     bench_workloads,
+    compare_with_previous,
+    load_bench,
     run_bench,
     write_bench,
+)
+from repro.perf.profile import (
+    dump_pstats,
+    profile_run,
+    render_profile,
+    serializable,
 )
 
 __all__ = [
@@ -21,6 +29,12 @@ __all__ = [
     "DEFAULT_BENCH_WORKLOADS",
     "QUICK_BENCH_WORKLOADS",
     "bench_workloads",
+    "compare_with_previous",
+    "dump_pstats",
+    "load_bench",
+    "profile_run",
+    "render_profile",
     "run_bench",
+    "serializable",
     "write_bench",
 ]

@@ -260,6 +260,7 @@ def run_bench(workloads: Optional[List[str]] = None,
 
     capture = totals["trace_build_cold_s"]
     replay_total = totals["store_load_s"]
+    throughput = _throughput(per_workload, modes)
     payload = {
         "schema": 1,
         "generated_by": "repro bench",
@@ -279,11 +280,104 @@ def run_bench(workloads: Optional[List[str]] = None,
         #: cold (re-interpreted) one — the sweep front-end speedup.
         "capture_vs_replay_speedup": round(
             capture / replay_total, 2) if replay_total > 0 else None,
+        #: Simulator throughput: committed trace µ-ops per second of
+        #: pipeline run time, per mode and aggregated over the matrix.
+        #: This is the number hot-loop PRs move.
+        "throughput": throughput,
         #: Instrumentation tax (bare vs default vs traced run); the
         #: observability layer's contract is noop_overhead_pct < 2.
         "observability": observability,
     }
     return payload
+
+
+def _throughput(per_workload: Dict[str, Dict], modes) -> Dict:
+    """µops/s per mode plus the aggregate over every (workload, mode)."""
+    per_mode: Dict[str, Dict[str, float]] = {
+        mode.value: {"uops": 0, "run_s": 0.0} for mode in modes}
+    for row in per_workload.values():
+        for mode_name, cell in row["modes"].items():
+            bucket = per_mode[mode_name]
+            bucket["uops"] += row["uops"]
+            bucket["run_s"] += cell["run_s"]
+    total_uops = sum(bucket["uops"] for bucket in per_mode.values())
+    total_s = sum(bucket["run_s"] for bucket in per_mode.values())
+    return {
+        "per_mode_uops_per_s": {
+            name: (round(bucket["uops"] / bucket["run_s"])
+                   if bucket["run_s"] > 0 else None)
+            for name, bucket in per_mode.items()
+        },
+        "aggregate_uops_per_s": (round(total_uops / total_s)
+                                 if total_s > 0 else None),
+        "aggregate_uops": total_uops,
+        "aggregate_run_s": round(total_s, 4),
+    }
+
+
+def compare_with_previous(payload: Dict, previous: Optional[Dict]) -> Dict:
+    """Annotate ``payload`` with the delta against a previous bench file.
+
+    Adds a ``vs_previous`` block: aggregate-µops/s speedup plus a
+    cycle-exactness verdict over every (workload, mode) cell present in
+    both payloads.  A throughput win that moves any ``cycles`` value is
+    a timing change, not an optimization — the block calls that out
+    instead of letting the speedup headline stand.
+    """
+    if not previous:
+        payload["vs_previous"] = None
+        return payload
+    mismatches: List[str] = []
+    compared = 0
+    previous_workloads = previous.get("workloads", {})
+    for name, row in payload.get("workloads", {}).items():
+        old_row = previous_workloads.get(name)
+        if old_row is None or old_row.get("uops") != row.get("uops"):
+            continue  # different trace budget: cycles not comparable
+        for mode_name, cell in row["modes"].items():
+            old_cell = old_row.get("modes", {}).get(mode_name)
+            if old_cell is None:
+                continue
+            compared += 1
+            if old_cell.get("cycles") != cell.get("cycles"):
+                mismatches.append("%s/%s: %s -> %s"
+                                  % (name, mode_name, old_cell.get("cycles"),
+                                     cell.get("cycles")))
+    old_aggregate = (previous.get("throughput") or {}).get(
+        "aggregate_uops_per_s")
+    if old_aggregate is None:
+        # Baseline predates the throughput block: reconstruct the
+        # aggregate from its per-cell timings.
+        old_uops = old_s = 0.0
+        for row in previous_workloads.values():
+            for cell in row.get("modes", {}).values():
+                if "run_s" in cell:
+                    old_uops += row.get("uops", 0)
+                    old_s += cell["run_s"]
+        if old_s > 0:
+            old_aggregate = round(old_uops / old_s)
+    new_aggregate = (payload.get("throughput") or {}).get(
+        "aggregate_uops_per_s")
+    speedup = (round(new_aggregate / old_aggregate, 3)
+               if old_aggregate and new_aggregate else None)
+    payload["vs_previous"] = {
+        "previous_timestamp": previous.get("timestamp"),
+        "previous_aggregate_uops_per_s": old_aggregate,
+        "aggregate_speedup": speedup,
+        "cells_compared": compared,
+        "cycles_identical": not mismatches,
+        "cycle_mismatches": mismatches[:20],
+    }
+    return payload
+
+
+def load_bench(path: str = BENCH_OUTPUT_DEFAULT) -> Optional[Dict]:
+    """Read an existing bench payload; None when absent or unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
 
 
 def write_bench(payload: Dict, output: str = BENCH_OUTPUT_DEFAULT) -> str:

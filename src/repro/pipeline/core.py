@@ -24,7 +24,9 @@ Fusion responsibilities match the paper's Figure 6:
 from __future__ import annotations
 
 import dataclasses
+import gc
 import heapq
+import operator
 import os
 from collections import deque
 from dataclasses import dataclass
@@ -47,8 +49,15 @@ from repro.predictors.storeset import StoreSetPredictor
 from repro.predictors.uch import UnfusedCommittedHistory
 from repro.predictors.update_queue import UCHUpdateQueue
 
-def _seq_key(uop):
-    return uop.seq
+#: Scheduler-scan sort key; ``attrgetter`` keeps the comparison in C.
+_seq_key = operator.attrgetter("seq")
+
+#: ``OpClass.NOP``'s integer value (hot equality test in dispatch —
+#: ``PipeUop.opclass`` is the plain-int mirror, see ``MicroOp``).
+_NOP = OpClass.NOP._value_
+
+#: ``FusionKind.NONE`` likewise (hot identity test in commit accounting).
+_NO_FUSION = FusionKind.NONE
 
 
 #: Latency of a full store-to-load forward (SQ read instead of cache).
@@ -62,6 +71,14 @@ STLF_LATENCY = 5
 #: merely costs one repair flush.  The threshold sits far above any
 #: legitimate commit stall (a DRAM miss plus queueing is < 400 cycles).
 DEADLOCK_WATCHDOG_CYCLES = 1024
+
+#: ``EXECUTION_LATENCY`` as a dense list indexed by ``OpClass`` value —
+#: the issue loop reads it per µ-op, and list indexing beats enum-keyed
+#: dict lookups there.
+_EXEC_LATENCY: List[int] = [0] * (max(OpClass).value + 1)
+for _cls in OpClass:
+    _EXEC_LATENCY[_cls.value] = EXECUTION_LATENCY[_cls]
+del _cls
 
 
 #: Top-down CPI accounting buckets, in canonical report order.  Every
@@ -259,7 +276,9 @@ class PipelineCore:
 
         # Store drain (post-commit write into the cache).
         self._drain_free_at = 0
-        self._draining: List[LSQEntry] = []
+        self._drain_min = 0
+        # Min-heap of (drained_c, seq, entry): stores draining to cache.
+        self._draining: List[Tuple[int, int, LSQEntry]] = []
 
         # Fusion machinery.
         self.window = ConsecutiveFusionWindow.for_mode(mode)
@@ -315,14 +334,28 @@ class PipelineCore:
         # the paper's evaluation).
         self.uop_cache = UopCache() if config.uop_cache_enabled else None
 
-        # AQ index for NCSF head lookup by sequence number.
+        # AQ index for NCSF head lookup by sequence number.  Only the
+        # predictive (Helios) and oracle paths ever look a head up, so
+        # other modes skip the per-µ-op insert; the removal sites pop
+        # from a dict that simply stays empty.
         self._aq_by_seq: Dict[int, PipeUop] = {}
+        self._track_aq = (self.fp is not None
+                          or bool(self._oracle_tail_to_head))
 
         self.commit_counter = 0
         self.now = 0
         #: Cycle of the last commit progress, for the deadlock watchdog.
         self._last_commit_cycle = 0
         self.stats = CoreStats()
+
+        # Incremental extended-commit-group tracking (the cached list of
+        # group members that had not completed when the group head first
+        # reached the ROB head; see _commit_group_ready).  Invalidated
+        # by any flush and by a member dispatching into the group late.
+        self._cg_uop: Optional[PipeUop] = None
+        self._cg_pending: List[PipeUop] = []
+        self._cg_index = 0
+        self._cg_tail_seq = -1
 
         # Interrupt handling (Section IV-B3): an interrupt may only be
         # processed once any extended commit group in flight at the ROB
@@ -349,32 +382,114 @@ class PipelineCore:
             OpClass.SYSTEM: 1,
             OpClass.NOP: config.alu_ports,
         }
-        self._port_quota = [quota[cls] for cls in sorted(quota)]
+        # Index explicitly by enum *value*: ``sorted(quota)`` silently
+        # assumed OpClass values are dense and zero-based, which a new
+        # member with a gap or offset would break without any error —
+        # ports would shift onto the wrong classes.
+        missing = [cls for cls in OpClass if cls not in quota]
+        if missing:
+            raise ValueError(
+                "no port quota for OpClass member(s): %s"
+                % ", ".join(cls.name for cls in missing))
+        self._port_quota = [0] * (max(cls.value for cls in OpClass) + 1)
+        for cls, count in quota.items():
+            self._port_quota[cls.value] = count
 
     # ------------------------------------------------------------------ run --
 
     def run(self, max_cycles: Optional[int] = None) -> CoreStats:
-        """Simulate until the whole trace commits; returns the counters."""
+        """Simulate until the whole trace commits; returns the counters.
+
+        The cyclic garbage collector is paused for the duration: the
+        simulation allocates millions of small objects whose only
+        reference cycles (parked consumer <-> producer wait lists) are
+        broken explicitly at wake/flush, so generational scans find
+        nothing and cost double-digit percent.  The previous GC state
+        is restored on exit, and one collection sweeps any stragglers.
+        """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+
+    def _run(self, max_cycles: Optional[int] = None) -> CoreStats:
         total_instructions = len(self.trace)
         limit = max_cycles or (200 * total_instructions + 10_000)
         topdown = self._topdown
         slots = self._slots
-        commit_width = self.config.commit_width
-        while self.stats.instructions < total_instructions:
-            self.now += 1
-            if self.now > limit:
+        config = self.config
+        commit_width = config.commit_width
+        stats = self.stats
+        # The event-driven fast path (see _fast_forward) replicates the
+        # per-cycle bookkeeping of provably-idle stretches instead of
+        # simulating them.  Any per-cycle observer needs the real
+        # cycles, so their presence pins the core to the slow path (as
+        # does REPRO_NO_FASTFORWARD, the differential-testing escape
+        # hatch).
+        fast_forward = (self._ev is None and self._san is None
+                        and self._clog is None
+                        and not os.environ.get("REPRO_NO_FASTFORWARD"))
+        observed = not fast_forward
+        idle_prev = False
+        snap = None
+        stalls = ()
+        # Containers assigned once in __init__ (never rebound by a
+        # flush) are safe to hoist for the life of the run.
+        draining = self._draining
+        rename_latch = self.rename_latch
+        aq = self.aq
+        rob = self.rob
+        has_fp = self.fp is not None
+        uch_lq = self.uch_load_queue._queue if has_fp else None
+        uch_sq = self.uch_store_queue._queue if has_fp else None
+        while stats.instructions < total_instructions:
+            now = self.now + 1
+            self.now = now
+            if now > limit:
                 raise RuntimeError(
                     "simulation did not converge at cycle %d "
                     "(%d/%d instructions committed)"
-                    % (self.now, self.stats.instructions, total_instructions))
-            self._drain_stores()
-            self._commit()
-            self._issue()
-            self._dispatch()
-            self._rename()
-            self._decode()
+                    % (self.now, stats.instructions, total_instructions))
+            if idle_prev:
+                # Snapshot only once a no-commit cycle has already been
+                # seen: busy stretches never pay for the idle detector.
+                snap = self._idle_snapshot()
+                stalls = (stats.fetch_stall_cycles,
+                          stats.rename_stall_cycles,
+                          stats.dispatch_stall_cycles)
+            else:
+                snap = None
+            if draining and self._drain_min <= now:
+                self._drain_stores()
+            # Stage-skip guards: a stage with provably no input is not
+            # entered at all, but its per-cycle side effects (stall
+            # bucket resets, interrupt polling) are preserved.
+            if rob or self.pending_interrupt:
+                self._commit()
+            else:
+                self._commit_stall_bucket = None
+                self._committed_this_cycle = 0
+            sleep = self._iq_sleep
+            if self._iq_awake or (sleep and sleep[0][0] <= now):
+                self._issue()
+            if rename_latch:
+                self._dispatch()
+            else:
+                self._cycle_dispatch_block = None
+            if aq:
+                self._rename()
+            else:
+                self._cycle_rename_block = False
+            if self.fetch_buffer:
+                self._decode()
             self._fetch()
-            self._train_uch()
+            if has_fp and (uch_lq or uch_sq):
+                self._train_uch()
             if topdown:
                 # Top-down slot attribution, inlined — committed slots
                 # are ``base``, the rest go to the dominant blocker.
@@ -383,23 +498,155 @@ class PipelineCore:
                 if committed < commit_width:
                     slots[self._stall_slot_bucket()] += (
                         commit_width - committed)
-            if self._ev is not None:
-                self._sample_occupancy()
-            if self._san is not None:
-                self._san.check(self)
+            if observed:
+                if self._ev is not None:
+                    self._sample_occupancy()
+                if self._san is not None:
+                    self._san.check(self)
+            elif (self._committed_this_cycle == 0
+                    and not self.pending_interrupt):
+                if snap is not None and snap == self._idle_snapshot():
+                    self._fast_forward(limit, stalls)
+                idle_prev = True
+            else:
+                idle_prev = False
         if self._san is not None:
             self._san.final(self)
-        self.stats.cycles = self.now
+        stats.cycles = self.now
         if self._topdown:
-            self.stats.cpi_buckets = dict(self._slots)
-            total = self.now * self.config.commit_width
+            stats.cpi_buckets = dict(self._slots)
+            total = self.now * commit_width
             accounted = sum(self._slots.values())
             if accounted != total:
                 raise RuntimeError(
                     "top-down slot accounting leaked: attributed %d slots "
                     "over %d cycles x %d commit slots = %d"
-                    % (accounted, self.now, self.config.commit_width, total))
-        return self.stats
+                    % (accounted, self.now, commit_width, total))
+        return stats
+
+    # ----------------------------------------------------- event fast-forward --
+
+    def _idle_snapshot(self) -> tuple:
+        """Everything a pipeline cycle can move, as one comparable tuple.
+
+        A cycle whose before/after snapshots are equal moved nothing:
+        every stage is a deterministic function of this state plus the
+        current cycle number, so subsequent cycles repeat it verbatim —
+        only the per-cycle stall counters and top-down slots advance —
+        until the next scheduled event (see ``_next_event_cycle``).
+        The µ-arch containers are covered by their occupancies: stage
+        transfers always change at least one occupancy or one of the
+        listed counters (wake/park/flush churn included).
+        """
+        stats = self.stats
+        return (
+            self.fetch_index, len(self.fetch_buffer), len(self.aq),
+            len(self.rename_latch), len(self.rob), self.iq_count,
+            len(self._iq_awake), len(self._iq_sleep), len(self._iq_parked),
+            len(self._draining), self._drain_free_at,
+            stats.uops_committed,
+            stats.branch_mispredictions, stats.order_violation_flushes,
+            stats.fusion_flushes, stats.deadlock_unfusions,
+            self.waiting_branch, self._stall_on_branch_seq,
+            self.fetch_resume_cycle, self.pending_interrupt,
+            None if self.uch_load_queue is None
+            else len(self.uch_load_queue._queue),
+            None if self.uch_store_queue is None
+            else len(self.uch_store_queue._queue),
+        )
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which an idle machine can act.
+
+        Every time comparison in the stage code is against one of these
+        bounds, so an idle machine provably repeats itself on every
+        cycle strictly before the minimum.  ``None`` means no event is
+        scheduled — the machine would spin to the convergence limit,
+        and the caller must simulate normally so it still does.
+        """
+        now = self.now
+        event = None
+        sleep = self._iq_sleep
+        if sleep:
+            event = sleep[0][0]
+        resume = self.fetch_resume_cycle
+        if now < resume and (event is None or resume < event):
+            event = resume
+        waiting = self.waiting_branch
+        if waiting is not None and waiting.complete_c is not None:
+            t = waiting.complete_c + self.config.branch_mispredict_penalty
+            if t > now and (event is None or t < event):
+                event = t
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            t = head.complete_c
+            if t is not None and t > now and (event is None or t < event):
+                event = t
+            t = head.tail_complete_c
+            if t is not None and t > now and (event is None or t < event):
+                event = t
+            if head.late_producers:
+                t = head.late_ready_at()
+                if t is not None and t > now and (event is None or t < event):
+                    event = t
+            if head.tail is not None:
+                # The deadlock watchdog must still fire on schedule.
+                t = self._last_commit_cycle + DEADLOCK_WATCHDOG_CYCLES + 1
+                if event is None or t < event:
+                    event = t
+                if self._cg_uop is head \
+                        and self._cg_index < len(self._cg_pending):
+                    t = self._cg_pending[self._cg_index].complete_c
+                    if t is not None and t > now \
+                            and (event is None or t < event):
+                        event = t
+        if self._draining:
+            t = self._drain_min
+            if t > now and (event is None or t < event):
+                event = t
+        return event
+
+    def _fast_forward(self, limit: int, stalls_before: tuple) -> None:
+        """Skip to the cycle before the next event, replicating the
+        per-cycle bookkeeping the skipped idle cycles would have done.
+
+        Only called after a cycle whose idle snapshot did not change:
+        the machine will repeat that cycle — same stall counters, same
+        top-down bucket — until the next scheduled event."""
+        target = self._next_event_cycle()
+        if target is None:
+            return
+        if target > limit + 1:
+            target = limit + 1  # preserve the non-convergence error
+        skipped = target - self.now - 1
+        if skipped <= 0:
+            return
+        stats = self.stats
+        fetch_before, rename_before, dispatch_before = stalls_before
+        if stats.fetch_stall_cycles != fetch_before:
+            stats.fetch_stall_cycles += skipped
+        if stats.rename_stall_cycles != rename_before:
+            stats.rename_stall_cycles += skipped
+        if stats.dispatch_stall_cycles != dispatch_before:
+            stats.dispatch_stall_cycles += skipped
+            reason = self._cycle_dispatch_block
+            if reason == "rob":
+                stats.dispatch_stall_rob += skipped
+            elif reason == "iq":
+                stats.dispatch_stall_iq += skipped
+            elif reason == "lq":
+                stats.dispatch_stall_lq += skipped
+            elif reason == "sq":
+                stats.dispatch_stall_sq += skipped
+        if self._topdown:
+            # Zero µ-ops committed in the observed cycle (a fast-forward
+            # precondition), so every slot of every skipped cycle lands
+            # in the observed cycle's stall bucket — whose inputs are
+            # all part of the unchanged snapshot.
+            self._slots[self._stall_slot_bucket()] += (
+                self.config.commit_width * skipped)
+        self.now += skipped
 
     # ------------------------------------------------------- observability --
 
@@ -491,17 +738,24 @@ class PipelineCore:
                 return
         fetched = 0
         trace = self.trace
+        trace_len = len(trace)
         line_mask = ~(self.memory.line_bytes - 1)
-        while (fetched < self.config.fetch_width
-               and self.fetch_index < len(trace)
-               and len(self.fetch_buffer) < self.fetch_buffer_cap):
-            mo = trace[self.fetch_index]
+        fetch_width = self.config.fetch_width
+        fetch_buffer = self.fetch_buffer
+        fetch_buffer_cap = self.fetch_buffer_cap
+        fetch_index = self.fetch_index
+        ev = self._ev
+        branch_pred = self.branch_pred
+        while (fetched < fetch_width and fetch_index < trace_len
+               and len(fetch_buffer) < fetch_buffer_cap):
+            mo = trace[fetch_index]
             line = mo.pc & line_mask
             if line != self._fetch_line:
                 # Crossing into a new instruction line: consult the L1I.
                 stall = self.memory.fetch_line(mo.pc)
                 self._fetch_line = line
                 if stall:
+                    self.fetch_index = fetch_index
                     self.fetch_resume_cycle = self.now + stall
                     self._resume_reason = "icache"
                     if fetched == 0:
@@ -509,20 +763,21 @@ class PipelineCore:
                         # whole group — a partial fetch made progress.
                         self._fetch_stall("icache")
                     return
-            self.fetch_buffer.append(mo)
-            self.fetch_index += 1
+            fetch_buffer.append(mo)
+            fetch_index += 1
             fetched += 1
-            if self._ev is not None:
-                self._ev.emit(self.now, "fetch", mo.seq)
+            if ev is not None:
+                ev.emit(self.now, "fetch", mo.seq)
             if mo.is_branch:
-                prediction = self.branch_pred.predict(mo.pc)
-                self.branch_pred.update(mo.pc, mo.taken)
-                if prediction != mo.taken:
+                # update() recomputes the pre-update prediction and
+                # returns the misprediction verdict: one table walk.
+                if branch_pred.update(mo.pc, mo.taken):
                     # Fetch stalls after the mispredicted branch until
                     # it resolves (correct-path trace approximation).
                     self.stats.branch_mispredictions += 1
                     self._stall_on_branch_seq = mo.seq
                     break
+        self.fetch_index = fetch_index
 
     # ---------------------------------------------------------------- decode --
 
@@ -559,7 +814,8 @@ class PipelineCore:
             self.aq.append(result)
             return True
         self.aq.append(uop)
-        self._aq_by_seq[uop.seq] = uop
+        if self._track_aq:
+            self._aq_by_seq[uop.seq] = uop
         return False
 
     def _decode(self) -> None:
@@ -573,38 +829,70 @@ class PipelineCore:
         decoded = 0
         previous: Optional[PipeUop] = None
         config = self.config
+        fetch_buffer = self.fetch_buffer
+        aq = self.aq
+        window = self.window
+        now = self.now
+        ev = self._ev
+        track_aq = self._track_aq
         group_start_pc: Optional[int] = None
-        slots = []
-        while (decoded < config.decode_width and self.fetch_buffer
-               and len(self.aq) < config.aq_size):
-            mo = self.fetch_buffer.popleft()
+        # Cached-slot recording only matters when a µ-op cache will be
+        # filled from it; the default configuration has none.
+        slots = [] if self.uop_cache is not None else None
+        decode_width = config.decode_width
+        aq_size = config.aq_size
+        match_kind = window.match_kind if window is not None else None
+        while decoded < decode_width and fetch_buffer and len(aq) < aq_size:
+            mo = fetch_buffer.popleft()
             decoded += 1
             if group_start_pc is None:
                 group_start_pc = mo.pc
-            uop = self._admit(mo)
+            # _admit(), inlined: one PipeUop per decoded µ-op makes the
+            # call overhead itself show up in profiles.
+            uop = PipeUop(mo)
+            uop.fetch_c = now
+            if ev is not None:
+                ev.emit(now, "decode", mo.seq)
+            if self._stall_on_branch_seq == mo.seq and mo.is_branch:
+                # Attach the fetch-stall marker to the real PipeUop.
+                uop.mispredicted_branch = True
+                self.waiting_branch = uop
+                self._stall_on_branch_seq = None
 
             # 1. Consecutive fusion inside the decode group.
-            if previous is not None and self.window is not None \
-                    and not previous.is_fused and not previous.is_tail_ghost \
+            if previous is not None and match_kind is not None \
+                    and previous.fusion is _NO_FUSION \
+                    and not previous.is_tail_ghost \
                     and mo.seq == previous.seq + 1:
-                pair = self.window.match(previous.head, mo)
-                if pair is not None:
-                    previous.fuse_consecutive(mo, pair.idiom, pair.is_memory)
+                kind = match_kind(previous.head, mo)
+                if kind is not None:
+                    idiom, is_memory_pair = kind
+                    previous.fuse_consecutive(mo, idiom, is_memory_pair)
                     if self._ev is not None:
                         self._ev.emit(self.now, "fuse", previous.seq, "csf")
                     if slots:
                         slots[-1] = CachedSlot(
                             pcs=(previous.head.pc, mo.pc),
-                            idiom=pair.idiom, is_memory_pair=pair.is_memory)
+                            idiom=idiom, is_memory_pair=is_memory_pair)
                     previous = None  # a fused µ-op cannot fuse again
                     continue
 
             # NCSF'd groupings are control-flow dependent and are never
             # cached (Section IV-A): record the µ-op as a single slot.
-            slots.append(CachedSlot(pcs=(mo.pc,)))
-            if self._admit_single(uop):
-                previous = None
+            if slots is not None:
+                slots.append(CachedSlot(pcs=(mo.pc,)))
+            if track_aq and mo.is_memory and not uop.mispredicted_branch:
+                # Memory µ-op in a predictive/oracle mode: the NCSF
+                # admission checks apply (and may consume the µ-op).
+                if self._admit_single(uop):
+                    previous = None
+                else:
+                    previous = uop
             else:
+                # _admit_single's plain path, inlined.
+                aq.append(uop)
+                if track_aq:
+                    self._aq_by_seq[uop.seq] = uop
                 previous = uop
         if self.uop_cache is not None and group_start_pc is not None:
             self.uop_cache.fill(group_start_pc, slots)
@@ -628,7 +916,8 @@ class PipelineCore:
                 if self._ev is not None:
                     self._ev.emit(self.now, "fuse", uop.seq, "csf")
                 self.aq.append(uop)
-                self._aq_by_seq[uop.seq] = uop
+                if self._track_aq:
+                    self._aq_by_seq[uop.seq] = uop
             else:
                 self._admit_single(uop)
 
@@ -694,12 +983,19 @@ class PipelineCore:
     def _rename(self) -> None:
         renamed = 0
         blocked = False
-        config = self.config
-        while renamed < config.rename_width and self.aq:
-            if len(self.rename_latch) >= self.rename_latch_cap:
+        aq = self.aq
+        rename_latch = self.rename_latch
+        latch_cap = self.rename_latch_cap
+        rename_unit = self.rename_unit
+        aq_by_seq_pop = self._aq_by_seq.pop
+        now = self.now
+        ev = self._ev
+        width = self.config.rename_width
+        while renamed < width and aq:
+            if len(rename_latch) >= latch_cap:
                 blocked = True
                 break
-            uop = self.aq[0]
+            uop = aq[0]
 
             if uop.is_tail_ghost and uop.ghost_of.fusion is not FusionKind.NCSF:
                 # The head was unfused before we renamed: become a
@@ -708,54 +1004,54 @@ class PipelineCore:
                 uop.ghost_of = None
 
             if uop.is_tail_ghost:
-                outcome = self.rename_unit.rename_tail_ghost(uop)
-                self.aq.popleft()
-                self._aq_by_seq.pop(uop.seq, None)
-                uop.rename_c = self.now
-                if self._ev is not None:
-                    self._ev.emit(self.now, "rename", uop.seq, "ghost")
+                outcome = rename_unit.rename_tail_ghost(uop)
+                aq.popleft()
+                aq_by_seq_pop(uop.seq, None)
+                uop.rename_c = now
+                if ev is not None:
+                    ev.emit(now, "rename", uop.seq, "ghost")
                 if outcome == "validated":
-                    if uop.ghost_of.rename_c == self.now:
+                    if uop.ghost_of.rename_c == now:
                         # Both nucleii in the same rename group: Rename
                         # fixes any RaW in place and the NCSF'd µ-op
                         # leaves Rename validated (Section IV-B2).
                         uop.ghost_of.validate()
                     else:
-                        self.rename_latch.append(uop)  # will flip NCS Ready
+                        rename_latch.append(uop)  # will flip NCS Ready
                 else:
                     self._unfuse_pending(uop.ghost_of, outcome)
                     # The tail nucleus now needs its own rename + entries.
                     uop.is_tail_ghost = False
                     uop.ghost_of = None
-                    if not self.rename_unit.can_allocate(uop):
+                    if not rename_unit.can_allocate(uop):
                         # Rare: re-queue at AQ head and retry next cycle.
-                        self.aq.appendleft(uop)
+                        aq.appendleft(uop)
                         self._aq_by_seq[uop.seq] = uop
                         blocked = True
                         break
-                    self.rename_unit.rename(uop)
-                    self.rename_latch.append(uop)
+                    rename_unit.rename(uop)
+                    rename_latch.append(uop)
                 renamed += 1
                 continue
 
-            if not self.rename_unit.can_allocate(uop):
+            if (rename_unit.free_int < uop.n_int_dests
+                    or rename_unit.free_fp < uop.n_fp_dests):
                 blocked = True
                 break
-            self.aq.popleft()
-            self._aq_by_seq.pop(uop.seq, None)
-            self.rename_unit.rename(uop)
-            uop.rename_c = self.now
-            self.rename_latch.append(uop)
+            aq.popleft()
+            aq_by_seq_pop(uop.seq, None)
+            rename_unit.rename(uop)
+            uop.rename_c = now
+            rename_latch.append(uop)
             renamed += 1
-            if self._ev is not None:
-                self._ev.emit(self.now, "rename", uop.seq)
+            if ev is not None:
+                ev.emit(now, "rename", uop.seq)
         self._cycle_rename_block = renamed == 0 and (
-            blocked or (bool(self.aq) and len(self.rename_latch)
-                        >= self.rename_latch_cap))
+            blocked or (bool(aq) and len(rename_latch) >= latch_cap))
         if self._cycle_rename_block:
             self.stats.rename_stall_cycles += 1
-            if self._ev is not None:
-                self._ev.emit(self.now, "stall", -1, "rename")
+            if ev is not None:
+                ev.emit(now, "stall", -1, "rename")
 
     def _unfuse_pending(self, head: PipeUop, reason: str) -> None:
         """Cases 2-4: unfuse a pending NCSF'd µ-op in place."""
@@ -780,8 +1076,20 @@ class PipelineCore:
         dispatched = 0
         blocked_reason = None
         config = self.config
-        while dispatched < config.dispatch_width and self.rename_latch:
-            uop = self.rename_latch[0]
+        now = self.now
+        rename_latch = self.rename_latch
+        rob = self.rob
+        lsu = self.lsu
+        ev = self._ev
+        dispatch_width = config.dispatch_width
+        rob_size = config.rob_size
+        iq_size = config.iq_size
+        awake_append = self._iq_awake.append
+        lsq_entries = self._lsq_entries
+        lq, lq_size = lsu.lq, lsu.lq_size
+        sq, sq_size = lsu.sq, lsu.sq_size
+        while dispatched < dispatch_width and rename_latch:
+            uop = rename_latch[0]
 
             if uop.is_tail_ghost:
                 # Validated tail nucleus: spend a dispatch slot setting
@@ -790,41 +1098,45 @@ class PipelineCore:
                 head = uop.ghost_of
                 if head.fusion is FusionKind.NCSF:
                     head.validate()
-                self.rename_latch.popleft()
+                rename_latch.popleft()
                 dispatched += 1
                 continue
 
-            if len(self.rob) >= config.rob_size:
+            if len(rob) >= rob_size:
                 blocked_reason = "rob"
                 break
-            if self.iq_count >= config.iq_size:
+            if self.iq_count >= iq_size:
                 blocked_reason = "iq"
                 break
-            if uop.is_load and self.lsu.lq_full():
+            if uop.is_load and len(lq) >= lq_size:
                 blocked_reason = "lq"
                 break
-            if uop.is_store and self.lsu.sq_full():
+            if uop.is_store and len(sq) >= sq_size:
                 blocked_reason = "sq"
                 break
 
-            self.rename_latch.popleft()
-            uop.dispatch_c = self.now
-            if self._ev is not None:
-                self._ev.emit(self.now, "dispatch", uop.seq)
-            self.rob.append(uop)
-            if uop.opclass is OpClass.NOP:
-                uop.complete_c = self.now  # NOPs need no execution
+            rename_latch.popleft()
+            uop.dispatch_c = now
+            if ev is not None:
+                ev.emit(now, "dispatch", uop.seq)
+            rob.append(uop)
+            if self._cg_uop is not None and uop.seq <= self._cg_tail_seq:
+                # A member dispatched late into the tracked commit
+                # group: the cached pending list is now incomplete.
+                self._cg_uop = None
+            if uop.opclass == _NOP:
+                uop.complete_c = now  # NOPs need no execution
             else:
-                self._iq_awake.append(uop)
+                awake_append(uop)
                 self.iq_count += 1
                 uop.in_iq = True
             if uop.is_memory:
-                self._lsq_entries[uop.seq] = self.lsu.allocate(uop)
+                lsq_entries[uop.seq] = lsu.allocate(uop)
                 if uop.is_store:
                     self.storeset.store_dispatched(uop.pc, uop.seq)
             dispatched += 1
 
-        if dispatched == 0 and self.rename_latch:
+        if dispatched == 0 and rename_latch:
             self._cycle_dispatch_block = blocked_reason
             self.stats.dispatch_stall_cycles += 1
             if blocked_reason == "rob":
@@ -846,75 +1158,108 @@ class PipelineCore:
     def _issue(self) -> None:
         now = self.now
         sleep = self._iq_sleep
+        awake = self._iq_awake
+        heappush = heapq.heappush
         # Wake sleeping entries whose earliest-ready time has come.
         if sleep and sleep[0][0] <= now:
+            heappop = heapq.heappop
             woken = []
             while sleep and sleep[0][0] <= now:
-                entry = heapq.heappop(sleep)[2]
+                entry = heappop(sleep)[2]
                 if entry.in_iq and not entry.squashed:
                     woken.append(entry)
             if woken:
-                self._iq_awake.extend(woken)
-                self._iq_awake.sort(key=_seq_key)
-        awake = self._iq_awake
+                awake.extend(woken)
+                awake.sort(key=_seq_key)
         if not awake:
             return
         budget = self.config.issue_width
         ports = self._port_quota[:]
+        ev = self._ev
         flush_seq: Optional[int] = None
         keep: List[PipeUop] = []
+        keep_append = keep.append
         issued = 0
         for index, uop in enumerate(awake):
             if budget == 0 or (flush_seq is not None and uop.seq >= flush_seq):
                 keep.extend(awake[index:])
                 break
             if not uop.ncs_ready:
-                keep.append(uop)  # pending NCSF'd µ-op: may not issue
+                keep_append(uop)  # pending NCSF'd µ-op: may not issue
                 continue
             if uop.dispatch_c >= now:
-                keep.append(uop)  # issue next cycle at the earliest
+                keep_append(uop)  # issue next cycle at the earliest
                 continue
-            ready = uop.ready_at()
-            if ready is None:
-                # Some producer has not even issued: park on its wait
-                # list; we are woken exactly when it issues.
-                producer = uop.first_unissued_producer()
-                if producer is not None:
-                    producer.park(uop)
+            producers = uop.producers
+            extra_producers = uop.extra_producers
+            if producers or extra_producers:
+                # ready_at() + first_unissued_producer(), fused into one
+                # scan: the first not-yet-issued producer is the one to
+                # park on, and it surfaces during the readiness walk.
+                ready = 0
+                waiting = None
+                for producer, reg in producers:
+                    completion = producer.complete_c
+                    if completion is None:
+                        waiting = producer
+                        break
+                    if producer.tail_complete_c is not None \
+                            and reg == producer.tail_dest_reg:
+                        completion = producer.tail_complete_c
+                    if completion > ready:
+                        ready = completion
+                if waiting is None and extra_producers:
+                    for producer, reg in extra_producers:
+                        completion = producer.complete_c
+                        if completion is None:
+                            waiting = producer
+                            break
+                        if producer.tail_complete_c is not None \
+                                and reg == producer.tail_dest_reg:
+                            completion = producer.tail_complete_c
+                        if completion > ready:
+                            ready = completion
+                if waiting is not None:
+                    # Some producer has not even issued: park on its
+                    # wait list; we are woken exactly when it issues.
+                    waiting.park(uop)
                     self._iq_parked.add(uop)
-                else:
-                    heapq.heappush(sleep, (now + 1, uop.seq, uop))
-                continue
-            if ready > now:
-                # Producers' completion times are fixed at their issue,
-                # so this entry cannot wake before `ready`.
-                uop.not_before = ready
-                heapq.heappush(sleep, (ready, uop.seq, uop))
-                continue
-            if ports[uop.opclass] == 0:
-                keep.append(uop)
-                continue
-            result = self._try_execute(uop)
-            if result == "blocked":
-                # LSQ conflict: re-check shortly (replay loop).
-                heapq.heappush(sleep, (now + 2, uop.seq, uop))
-                continue
-            if isinstance(result, int):
-                flush_seq = result  # flush decided; stop issuing younger
-                if uop.complete_c is None:
-                    # A deadlock repair unfused a *different* µ-op; this
-                    # one has not executed — replay it after the flush.
-                    heapq.heappush(sleep, (now + 2, uop.seq, uop))
                     continue
+                if ready > now:
+                    # Producers' completion times are fixed at their
+                    # issue, so this entry cannot wake before `ready`.
+                    uop.not_before = ready
+                    heappush(sleep, (ready, uop.seq, uop))
+                    continue
+            if ports[uop.opclass] == 0:
+                keep_append(uop)
+                continue
+            if uop.is_memory:
+                result = (self._execute_load(uop) if uop.is_load
+                          else self._execute_store(uop))
+                if result == "blocked":
+                    # LSQ conflict: re-check shortly (replay loop).
+                    heappush(sleep, (now + 2, uop.seq, uop))
+                    continue
+                if result != "ok":
+                    flush_seq = result  # flush decided; stop issuing
+                    if uop.complete_c is None:
+                        # A deadlock repair unfused a *different* µ-op;
+                        # this one has not executed — replay it after
+                        # the flush.
+                        heappush(sleep, (now + 2, uop.seq, uop))
+                        continue
+            else:
+                uop.complete_c = now + _EXEC_LATENCY[uop.opclass]
             ports[uop.opclass] -= 1
             budget -= 1
             uop.issue_c = now
             uop.in_iq = False
             issued += 1
-            if self._ev is not None:
-                self._ev.emit(now, "issue", uop.seq)
+            if ev is not None:
+                ev.emit(now, "issue", uop.seq)
                 if uop.complete_c is not None:
-                    self._ev.emit(uop.complete_c, "execute", uop.seq)
+                    ev.emit(uop.complete_c, "execute", uop.seq)
             if uop.waiters:
                 self._wake_waiters(uop)
         self._iq_awake = keep
@@ -936,17 +1281,6 @@ class PipelineCore:
                 heapq.heappush(sleep, (wake, consumer.seq, consumer))
         producer.waiters = None
 
-    def _try_execute(self, uop: PipeUop):
-        """Start execution; returns "ok", "blocked", or a flush seq."""
-        now = self.now
-        if uop.is_load:
-            return self._execute_load(uop)
-        if uop.is_store:
-            return self._execute_store(uop)
-        latency = EXECUTION_LATENCY[uop.opclass]
-        uop.complete_c = now + latency
-        return "ok"
-
     def _check_fused_span(self, uop: PipeUop) -> bool:
         """Case 5: the pair spans more than one access-granularity region."""
         head, tail = uop.head, uop.tail
@@ -958,10 +1292,14 @@ class PipelineCore:
                 and not self._check_fused_span(uop):
             return self._fusion_mispredict(uop)
         entry = self._lsq_entries[uop.seq]
-        load_pc = uop.pc
-        same_set = self.storeset.same_set
-        block, store = self.lsu.check_load(
-            entry, lambda store_pc: same_set(load_pc, store_pc))
+        if self.lsu.sq:
+            load_pc = uop.pc
+            same_set = self.storeset.same_set
+            block, store = self.lsu.check_load(
+                entry, lambda store_pc: same_set(load_pc, store_pc))
+        else:
+            # No stores in flight: check_load trivially finds nothing.
+            block, store = LoadBlock.NONE, None
         if store is not None and store.uop.seq > uop.seq and block in (
                 LoadBlock.WAIT_STORE_DRAIN, LoadBlock.WAIT_STORE_DATA,
                 LoadBlock.WAIT_STORE_ADDR):
@@ -1008,9 +1346,10 @@ class PipelineCore:
         if uop.tail is not None and uop.tail.is_memory:
             self._access_fused_pair(uop)
             return "ok"
-        addr, size = uop.mem_span
-        access = self.memory.access(addr, size)
-        uop.complete_c = self.now + access.latency
+        # Unfused (or non-memory-tail) load: mem_span is just the head.
+        head = uop.head
+        uop.complete_c = self.now + self.memory.access_latency(
+            head.addr, head.size)
         return "ok"
 
     def _access_fused_pair(self, uop: PipeUop) -> None:
@@ -1026,17 +1365,16 @@ class PipelineCore:
         line = self.memory.line_bytes
         if head.addr // line == tail.addr // line \
                 and (head.end_addr - 1) // line == (tail.end_addr - 1) // line:
-            access = self.memory.access(min(head.addr, tail.addr),
-                                        uop.mem_span[1])
-            uop.complete_c = self.now + access.latency
+            uop.complete_c = self.now + self.memory.access_latency(
+                min(head.addr, tail.addr), uop.mem_span[1])
             uop.tail_complete_c = uop.complete_c
         else:
-            head_access = self.memory.access(head.addr, head.size)
-            tail_access = self.memory.access(tail.addr, tail.size)
+            head_latency = self.memory.access_latency(head.addr, head.size)
+            tail_latency = self.memory.access_latency(tail.addr, tail.size)
             penalty = self.config.line_crossing_penalty
-            uop.complete_c = self.now + head_access.latency
+            uop.complete_c = self.now + head_latency
             uop.tail_complete_c = self.now + penalty + max(
-                head_access.latency, tail_access.latency)
+                head_latency, tail_latency)
         uop.tail_dest_reg = tail.dest
 
     def _execute_store(self, uop: PipeUop):
@@ -1075,8 +1413,7 @@ class PipelineCore:
         # The head itself still executes this cycle as a simple access.
         if uop.is_load:
             addr, size = uop.mem_span
-            access = self.memory.access(addr, size)
-            uop.complete_c = self.now + access.latency
+            uop.complete_c = self.now + self.memory.access_latency(addr, size)
             entry.addr_known = True
         else:
             entry.addr_known = True
@@ -1134,58 +1471,79 @@ class PipelineCore:
         if self.waiting_branch is not None and self.waiting_branch.seq >= seq:
             self.waiting_branch = None
 
+        # Every queue below is kept in ascending trace-sequence order,
+        # so squashing everything younger than ``seq`` is a suffix drop
+        # from the right — O(squashed), not O(occupancy).
+        parked = self._iq_parked
+
         def squash(uop: PipeUop) -> None:
             if uop.squashed:
                 return  # IQ entries are also in the ROB: release once
             uop.squashed = True
+            if uop.in_iq:
+                uop.in_iq = False
+                self.iq_count -= 1
+            if uop.parked:
+                uop.parked = False
+                parked.discard(uop)
             if uop.rename_c and not uop.committed:
-                self.rename_unit.release(uop.dests)
+                self.rename_unit.release_uop(uop)
 
-        survivors = deque()
-        for uop in self.aq:
-            if uop.seq >= seq:
-                squash(uop)
-                self._aq_by_seq.pop(uop.seq, None)
-            else:
-                survivors.append(uop)
-        self.aq = survivors
-        self.rename_latch = deque(
-            u for u in self.rename_latch
-            if u.seq < seq or (squash(u) or False))
-        self._iq_awake = [u for u in self._iq_awake
-                          if u.seq < seq or (squash(u) or False)]
-        live_sleepers = []
-        for wake, sseq, uop in self._iq_sleep:
-            if uop.seq < seq:
-                live_sleepers.append((wake, sseq, uop))
-            else:
-                squash(uop)
-        heapq.heapify(live_sleepers)
-        self._iq_sleep = live_sleepers
-        new_rob = deque()
-        for uop in self.rob:
-            if uop.seq < seq:
-                new_rob.append(uop)
-            else:
-                squash(uop)
-                self._lsq_entries.pop(uop.seq, None)
-        self.rob = new_rob
-        # Parked entries live in no scan list; recount after every
-        # collection has marked its squashed members.
-        self._iq_parked = {u for u in self._iq_parked if not u.squashed}
-        self.iq_count = (len(self._iq_awake) + len(live_sleepers)
-                         + len(self._iq_parked))
+        fetch_buffer = self.fetch_buffer
+        while fetch_buffer and fetch_buffer[-1].seq >= seq:
+            fetch_buffer.pop()
+        aq = self.aq
+        aq_by_seq_pop = self._aq_by_seq.pop
+        while aq and aq[-1].seq >= seq:
+            uop = aq.pop()
+            squash(uop)
+            aq_by_seq_pop(uop.seq, None)
+        latch = self.rename_latch
+        while latch and latch[-1].seq >= seq:
+            squash(latch.pop())
+        awake = self._iq_awake
+        while awake and awake[-1].seq >= seq:
+            squash(awake.pop())
+        rob = self.rob
+        lsq_entries_pop = self._lsq_entries.pop
+        while rob and rob[-1].seq >= seq:
+            uop = rob.pop()
+            squash(uop)
+            lsq_entries_pop(uop.seq, None)
+        self._cg_uop = None  # the tracked commit group may have shrunk
+        # Sleeping IQ entries are dropped lazily: every sleeper is also
+        # in the ROB, so the pass above already squashed it (clearing
+        # ``in_iq`` and the IQ count), and the wake path discards dead
+        # entries.  Compact the heap only when dead entries dominate so
+        # it cannot grow without bound across a flush storm.
+        sleep = self._iq_sleep
+        if len(sleep) > 64 and len(sleep) > 2 * self.iq_count:
+            live_sleepers = [item for item in sleep if not item[2].squashed]
+            heapq.heapify(live_sleepers)
+            self._iq_sleep = live_sleepers
         self.lsu.squash_from(seq)
         self.rename_unit.flush_from(seq)
         self.storeset.flush()
+        # Re-register *every* surviving SQ store, in program order so
+        # the youngest of each set wins the LFST slot.  Filtering on
+        # ``complete_c`` here used to drop in-flight (dispatched,
+        # incomplete) stores from the predictor, so a dependent load
+        # could speculate past them right after a flush and eat a
+        # second memory-order violation the store set exists to stop.
         for entry in self.lsu.sq:
-            if entry.uop.complete_c is not None:
-                self.storeset.store_dispatched(entry.uop.pc, entry.uop.seq)
+            self.storeset.store_dispatched(entry.uop.pc, entry.uop.seq)
 
         # Surviving fused µ-ops whose tail was squashed must unfuse
-        # (their tail nucleus will be refetched as a normal µ-op).
+        # (their tail nucleus will be refetched as a normal µ-op).  A
+        # pair never spans more than ``max_fusion_distance`` µ-ops, so
+        # only the youngest survivors can hold a squashed tail: walk
+        # each (seq-ordered) queue from the right and stop at the span
+        # bound instead of scanning every entry.
+        span_bound = seq - self.config.max_fusion_distance - 1
         for collection in (self.aq, self.rename_latch, self.rob):
-            for uop in collection:
+            for uop in reversed(collection):
+                if uop.seq < span_bound:
+                    break
                 if uop.tail is not None and uop.tail.seq >= seq \
                         and not uop.is_tail_ghost:
                     before = uop.dests
@@ -1234,7 +1592,10 @@ class PipelineCore:
     def _commit(self) -> None:
         committed = 0
         config = self.config
-        self._maybe_take_interrupt()
+        now = self.now
+        rob = self.rob
+        if self.pending_interrupt:
+            self._maybe_take_interrupt()
         # Deadlock watchdog: a fused ROB head is the only µ-op whose
         # completion can wait on *younger* µ-ops (its catalyst, via
         # extra/late producers or LSQ forwarding).  Rename-time deadlock
@@ -1242,56 +1603,77 @@ class PipelineCore:
         # catalyst-carried cycle would stall commit forever.  Unfuse
         # the head after a hopeless stall — always safe, at worst one
         # spurious repair flush on an extraordinarily slow catalyst.
-        if (self.rob
-                and self.now - self._last_commit_cycle
+        if (rob
+                and now - self._last_commit_cycle
                 > DEADLOCK_WATCHDOG_CYCLES
-                and self.rob[0].tail is not None):
-            self._last_commit_cycle = self.now
+                and rob[0].tail is not None):
+            self._last_commit_cycle = now
             self.stats.deadlock_unfusions += 1
-            self._flush_from(self._unfuse_inflight(self.rob[0]))
+            self._flush_from(self._unfuse_inflight(rob[0]))
         # Record *why* the commit loop broke (for the top-down slot
         # accounting at end of cycle) so `_stall_slot_bucket` never has
         # to re-derive it with a second ROB scan.
         self._commit_stall_bucket = None
-        while committed < config.commit_width and self.rob:
-            uop = self.rob[0]
-            if uop.complete_c is None or uop.complete_c > self.now:
+        commit_width = config.commit_width
+        ev = self._ev
+        clog = self._clog
+        rename_unit = self.rename_unit
+        lsq_entries_pop = self._lsq_entries.pop
+        account_commit = self._account_commit
+        stats = self.stats
+        has_uch = self.uch_loads is not None
+        while committed < commit_width and rob:
+            uop = rob[0]
+            completion = uop.complete_c
+            if completion is None or completion > now:
                 self._commit_stall_bucket = (
                     "memory" if uop.is_memory else "base")
                 break
-            if uop.tail_complete_c is not None and uop.tail_complete_c > self.now:
+            if uop.tail_complete_c is not None and uop.tail_complete_c > now:
                 # The tail half of a fused load pair is in flight.
                 self._commit_stall_bucket = "memory"
                 break
             if uop.late_producers:
                 # Fused store pair: the tail data must be captured.
                 late = uop.late_ready_at()
-                if late is None or late > self.now:
+                if late is None or late > now:
                     self._commit_stall_bucket = "base"
                     break
             if uop.tail is not None and not self._commit_group_ready(uop):
                 break  # _commit_group_ready recorded the blocker's bucket
-            self.rob.popleft()
+            rob.popleft()
             uop.committed = True
-            if self._ev is not None:
-                self._ev.emit(self.now, "commit", uop.seq)
-            if self._clog is not None:
-                self._clog.record_commit(uop)
+            if ev is not None:
+                ev.emit(now, "commit", uop.seq)
+            if clog is not None:
+                clog.record_commit(uop)
             # Extended commit group tracking: a fused µ-op opens a group
             # covering everything up to its tail nucleus.
-            if uop.tail is not None:
-                end = uop.tail.seq
+            tail = uop.tail
+            if tail is not None:
+                end = tail.seq
                 if self._commit_group_end is None \
                         or end > self._commit_group_end:
                     self._commit_group_end = end
             if self._commit_group_end is not None \
-                    and uop.youngest_seq >= self._commit_group_end:
+                    and (tail.seq if tail is not None else uop.seq) \
+                    >= self._commit_group_end:
                 self._commit_group_end = None
                 self._maybe_take_interrupt()
-            self.rename_unit.release(uop.dests)
-            self._account_commit(uop)
+            # release_uop(), inlined: two counter bumps per commit.
+            rename_unit.free_int += uop.n_int_dests
+            rename_unit.free_fp += uop.n_fp_dests
+            # _account_commit's unfused no-UCH case, inlined (the bulk
+            # of commits in every mode).
+            if tail is None and uop.fusion is _NO_FUSION \
+                    and not (has_uch and uop.is_memory):
+                stats.uops_committed += 1
+                stats.instructions += 1
+                self.commit_counter += 1
+            else:
+                account_commit(uop)
             if uop.is_memory:
-                entry = self._lsq_entries.pop(uop.seq, None)
+                entry = lsq_entries_pop(uop.seq, None)
                 if entry is not None:
                     if uop.is_load:
                         self.lsu.remove(entry)
@@ -1300,30 +1682,62 @@ class PipelineCore:
                         self.storeset.store_completed(uop.pc, uop.seq)
             committed += 1
         if committed:
-            self._last_commit_cycle = self.now
+            self._last_commit_cycle = now
         self._committed_this_cycle = committed
 
     def _commit_group_ready(self, uop: PipeUop) -> bool:
-        """Extended commit group: nucleii *and* catalyst must be ready."""
-        tail_seq = uop.tail.seq
-        for other in self.rob:
-            if other is uop:
-                continue
-            if other.seq > tail_seq:
-                break
-            if other.complete_c is None or other.complete_c > self.now:
+        """Extended commit group: nucleii *and* catalyst must be ready.
+
+        Incremental: the O(ROB) membership scan runs once per group
+        head (re-armed when a member dispatches late into the group or
+        a flush reshapes the ROB — see ``_dispatch``/``_flush_from``);
+        afterwards each call only re-checks the oldest still-incomplete
+        member.  Completion times never revert, so pruning members from
+        the front preserves the original scan's first-blocker choice —
+        and with it the stall bucket attribution.
+        """
+        now = self.now
+        if self._cg_uop is not uop:
+            tail_seq = uop.tail.seq
+            pending = []
+            for other in self.rob:
+                if other is uop:
+                    continue
+                if other.seq > tail_seq:
+                    break
+                if other.complete_c is None or other.complete_c > now:
+                    pending.append(other)
+            self._cg_uop = uop
+            self._cg_tail_seq = tail_seq
+            self._cg_pending = pending
+            self._cg_index = 0
+        pending = self._cg_pending
+        index = self._cg_index
+        count = len(pending)
+        while index < count:
+            blocker = pending[index]
+            completion = blocker.complete_c
+            if completion is None or completion > now:
+                self._cg_index = index
                 self._commit_stall_bucket = (
-                    "memory" if other.is_memory else "base")
+                    "memory" if blocker.is_memory else "base")
                 return False
+            index += 1
+        self._cg_index = index
         return True
 
     def _account_commit(self, uop: PipeUop) -> None:
         stats = self.stats
         stats.uops_committed += 1
-        stats.instructions += uop.instruction_count
-        if uop.fusion is FusionKind.CSF:
+        tail = uop.tail
+        instruction_count = 2 if tail is not None else 1
+        stats.instructions += instruction_count
+        fusion = uop.fusion
+        if fusion is _NO_FUSION:
+            pass  # common case: nothing fused to account
+        elif fusion is FusionKind.CSF:
             stats.csf_memory_pairs += 1
-        elif uop.fusion is FusionKind.NCSF:
+        elif fusion is FusionKind.NCSF:
             if uop.tail.seq == uop.seq + 1:
                 stats.csf_memory_pairs += 1
             else:
@@ -1341,15 +1755,15 @@ class PipelineCore:
                         self._credited_pairs.add(pair)
                         stats.fp_covered_pairs += 1
                         break
-        elif uop.fusion is FusionKind.OTHER:
+        elif fusion is FusionKind.OTHER:
             stats.other_pairs += 1
 
         # UCH training: only unfused memory µ-ops are inserted.
-        if self.uch_loads is not None and uop.is_memory and uop.tail is None:
+        if uop.is_memory and tail is None and self.uch_loads is not None:
             queue = self.uch_load_queue if uop.is_load else self.uch_store_queue
             queue.push(uop.pc, uop.head.addr, self.commit_counter,
                        self.branch_pred.ghr, uop.seq)
-        self.commit_counter += uop.instruction_count
+        self.commit_counter += instruction_count
 
     # ------------------------------------------------------------- store drain --
 
@@ -1358,19 +1772,27 @@ class PipelineCore:
         start = max(self.now, self._drain_free_at)
         self._drain_free_at = start + 1
         addr, size = entry.uop.mem_span
-        access = self.memory.access(addr, size)
-        entry.drained_c = start + access.latency
+        entry.drained_c = start + self.memory.access_latency(addr, size)
         if self._clog is not None:
             self._clog.record_drain(entry)
-        self._draining.append(entry)
+        # `_draining` is a heap on drained_c; `_drain_min` mirrors its
+        # root (valid while non-empty) so the per-cycle drain check is
+        # one comparison instead of a scan.
+        heapq.heappush(self._draining,
+                       (entry.drained_c, entry.uop.seq, entry))
+        self._drain_min = self._draining[0][0]
 
     def _drain_stores(self) -> None:
-        if not self._draining:
+        draining = self._draining
+        now = self.now
+        if not draining or self._drain_min > now:
             return
-        done = [e for e in self._draining if e.drained_c <= self.now]
-        for entry in done:
-            self.lsu.remove(entry)
-            self._draining.remove(entry)
+        remove = self.lsu.remove
+        heappop = heapq.heappop
+        while draining and draining[0][0] <= now:
+            remove(heappop(draining)[2])
+        if draining:
+            self._drain_min = draining[0][0]
 
     # ----------------------------------------------------------- UCH training --
 

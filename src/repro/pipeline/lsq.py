@@ -93,12 +93,20 @@ class LoadStoreUnit:
 
     def remove(self, entry: LSQEntry) -> None:
         queue = self.lq if entry.uop.is_load else self.sq
-        if entry in queue:
-            queue.remove(entry)
+        try:
+            queue.remove(entry)   # one scan instead of `in` + remove
+        except ValueError:
+            pass                  # already squashed out of the queue
 
     def squash_from(self, seq: int) -> None:
-        self.lq = [e for e in self.lq if e.uop.seq < seq]
-        self.sq = [e for e in self.sq if e.uop.seq < seq]
+        # Entries are allocated in dispatch (= program) order, so the
+        # squashed set is a suffix of each queue.
+        lq = self.lq
+        while lq and lq[-1].uop.seq >= seq:
+            lq.pop()
+        sq = self.sq
+        while sq and sq[-1].uop.seq >= seq:
+            sq.pop()
 
     # -- load issue ----------------------------------------------------------
 
@@ -119,8 +127,9 @@ class LoadStoreUnit:
         for store in self.sq:
             store_uop = store.uop
             for load_sub in entry.subs:
-                older_subs = [s for s in store.subs if s.seq < load_sub.seq]
-                if not older_subs:
+                # Sub-accesses are in program order, so the store has
+                # subs older than the load iff its first one is.
+                if store.subs[0].seq >= load_sub.seq:
                     continue
                 if not store.addr_known:
                     if depends_on_store(store_uop.pc):

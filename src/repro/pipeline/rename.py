@@ -70,12 +70,18 @@ class RenameUnit:
         return (self.free_int >= uop.n_int_dests
                 and self.free_fp >= uop.n_fp_dests)
 
-    def _allocate(self, dests) -> None:
-        ints, fps = self._split_dests(dests)
-        self.free_int -= ints
-        self.free_fp -= fps
+    def allocate_uop(self, uop: PipeUop) -> None:
+        """Allocate ``uop.dests`` via its cached per-file counters."""
+        self.free_int -= uop.n_int_dests
+        self.free_fp -= uop.n_fp_dests
+
+    def release_uop(self, uop: PipeUop) -> None:
+        """Release ``uop.dests`` via its cached per-file counters."""
+        self.free_int += uop.n_int_dests
+        self.free_fp += uop.n_fp_dests
 
     def release(self, dests) -> None:
+        """Release an explicit register list (partial-unfuse path)."""
         ints, fps = self._split_dests(dests)
         self.free_int += ints
         self.free_fp += fps
@@ -88,6 +94,10 @@ class RenameUnit:
         for reg in sources:
             producer = writers.get(reg)
             if producer is not None and (producer, reg) not in producers:
+                if producers.__class__ is tuple:
+                    # First edge: replace the shared construction-time
+                    # empty tuple (see uop._NO_EDGES) with a real list.
+                    producers = uop.producers = []
                 producers.append((producer, reg))
 
     def _set_writer(self, reg: int, uop: PipeUop, squash_key: int) -> None:
@@ -96,6 +106,8 @@ class RenameUnit:
 
     def _propagate_tags(self, sources, dests, extra_bits: int = 0) -> None:
         tags = self.deadlock_tags
+        if not tags and not extra_bits:
+            return  # no live nest: nothing to combine, nothing to clear
         combined = extra_bits
         for reg in sources:
             combined |= tags.get(reg, 0)
@@ -119,44 +131,75 @@ class RenameUnit:
         """Rename one non-ghost µ-op (possibly a pending NCSF head)."""
         self.stats.renamed_uops += 1
         head = uop.head
-        uop.producers = []
 
         if uop.fusion is FusionKind.NCSF and uop.pending:
             self._rename_ncsf_head(uop)
             return
 
-        sources = list(head.srcs)
-        if uop.tail is not None:
-            # Consecutive fusion: tail sources resolve here too, minus
-            # any idiom-internal dependence on the head's destination.
-            for reg in uop.tail.srcs:
-                if reg != head.dest and reg not in sources:
-                    sources.append(reg)
-        if uop.is_store:
-            # Split STA/STD: the store issues (address generation) on
-            # its base register(s); data registers are captured when
-            # they arrive and gate only commit and forwarding.
-            address_regs = {head.inst.rs1}
-            if uop.tail is not None:
-                address_regs.add(uop.tail.inst.rs1)
-            address_regs.discard(None)
-            data_sources = [r for r in sources if r not in address_regs]
-            sources = [r for r in sources if r in address_regs]
-            self._bind_sources(uop, sources)
-            writers = self._writers
-            for reg in data_sources:
-                producer = writers.get(reg)
-                if producer is not None                         and (producer, reg) not in uop.late_producers:
-                    uop.late_producers.append((producer, reg))
-            sources = sources + data_sources  # for tag propagation below
+        if uop.tail is None and not uop.is_store:
+            # Common case: a single unfused non-store nucleus.
+            # (_bind_sources, inlined: this path renames the bulk of
+            # the dynamic stream.  The producer list is allocated only
+            # on the first edge — source-less and producer-less µ-ops
+            # keep the shared empty tuple from construction.)
+            sources = head.srcs
+            writers_get = self._writers.get
+            producers = None
+            for reg in sources:
+                producer = writers_get(reg)
+                if producer is not None:
+                    edge = (producer, reg)
+                    if producers is None:
+                        producers = uop.producers = [edge]
+                    elif edge not in producers:
+                        producers.append(edge)
         else:
-            self._bind_sources(uop, sources)
-        self._allocate(uop.dests)
-        for reg in uop.dests:
-            self._set_writer(reg, uop, uop.seq)
+            sources = list(head.srcs)
+            if uop.tail is not None:
+                # Consecutive fusion: tail sources resolve here too,
+                # minus any idiom-internal dependence on the head's
+                # destination.
+                for reg in uop.tail.srcs:
+                    if reg != head.dest and reg not in sources:
+                        sources.append(reg)
+            if uop.is_store:
+                # Split STA/STD: the store issues (address generation)
+                # on its base register(s); data registers are captured
+                # when they arrive and gate only commit and forwarding.
+                address_regs = {head.inst.rs1}
+                if uop.tail is not None:
+                    address_regs.add(uop.tail.inst.rs1)
+                address_regs.discard(None)
+                data_sources = [r for r in sources if r not in address_regs]
+                sources = [r for r in sources if r in address_regs]
+                self._bind_sources(uop, sources)
+                writers = self._writers
+                for reg in data_sources:
+                    producer = writers.get(reg)
+                    if producer is not None:
+                        late = uop.late_producers
+                        if (producer, reg) not in late:
+                            if late.__class__ is tuple:
+                                late = uop.late_producers = []
+                            late.append((producer, reg))
+                sources = sources + data_sources  # for tag propagation
+            else:
+                self._bind_sources(uop, sources)
+        self.free_int -= uop.n_int_dests
+        self.free_fp -= uop.n_fp_dests
+        dests = uop.dests
+        if dests:
+            # _set_writer, inlined (one or two dests per µ-op).
+            writers = self._writers
+            log_append = self._writer_log.append
+            seq = uop.seq
+            for reg in dests:
+                log_append((seq, reg, writers.get(reg)))
+                writers[reg] = uop
             if self.active_ncs > 0:
-                self.inside_ncs.add(reg)
-        self._propagate_tags(sources, uop.dests)
+                self.inside_ncs.update(dests)
+        if self.deadlock_tags:
+            self._propagate_tags(sources, dests)
 
         if self.max_active_ncs > 0:
             if head.is_serializing or (uop.tail is not None
@@ -173,7 +216,7 @@ class RenameUnit:
             self.stats.unfused_nesting += 1
             uop.unfuse("nesting")
             self._bind_sources(uop, head.srcs)
-            self._allocate(uop.dests)
+            self.allocate_uop(uop)
             for reg in uop.dests:
                 self._set_writer(reg, uop, uop.seq)
                 if self.active_ncs > 0:
@@ -190,7 +233,7 @@ class RenameUnit:
         self.max_active_ncs += 1
         self.active_ncs += 1
         self._bind_sources(uop, head.srcs)
-        self._allocate(uop.dests)
+        self.allocate_uop(uop)
         head_dests = [d for d in uop.dests
                       if head.dest is not None and d == head.dest]
         for reg in head_dests:
@@ -244,9 +287,14 @@ class RenameUnit:
                 producer = writers.get(reg)
                 if producer is None or producer is head_uop:
                     continue
-                if head_uop.is_store and reg == tail.inst.rs2                         and reg != tail.inst.rs1:
+                if head_uop.is_store and reg == tail.inst.rs2 \
+                        and reg != tail.inst.rs1:
+                    if head_uop.late_producers.__class__ is tuple:
+                        head_uop.late_producers = []
                     head_uop.late_producers.append((producer, reg))
                 else:
+                    if head_uop.extra_producers.__class__ is tuple:
+                        head_uop.extra_producers = []
                     head_uop.extra_producers.append((producer, reg))
             # Deferred destination rename leaves the side buffer and
             # updates the RAT, in program order.

@@ -16,6 +16,14 @@ from repro.isa.registers import FP_REG_BASE
 from repro.isa.trace import MicroOp
 
 
+#: Shared empty producer-edge collection.  PipeUops are constructed with
+#: this tuple in all three edge slots; writers rebind to a fresh list
+#: before the first append (Rename does so unconditionally for
+#: ``producers``), so the common construct-then-discard allocations are
+#: avoided.  Readers only iterate/test truthiness, which tuples serve.
+_NO_EDGES: Tuple = ()
+
+
 class FusionKind(enum.Enum):
     """How a PipeUop came to carry two trace µ-ops."""
 
@@ -47,7 +55,7 @@ class PipeUop:
         self.head = head
         self.seq = head.seq
         self.pc = head.pc
-        self.opclass = head.opclass
+        self.opclass = head.opclass_i  # int: indexes ports/latencies
         self.is_memory = head.is_memory
         self.is_load = head.is_load
         self.is_store = head.is_store
@@ -62,13 +70,12 @@ class PipeUop:
         self.is_tail_ghost = False
         self.ghost_of: Optional["PipeUop"] = None
         self.nest_level = 0
-        self.dests: Tuple[int, ...] = ()
-        self.producers: List["PipeUop"] = []
-        self.extra_producers: List["PipeUop"] = []
+        self.producers = _NO_EDGES
+        self.extra_producers = _NO_EDGES
         # Tail-store data producers: a fused store pair issues (address
         # generation + head data capture) without them; they gate only
         # commit and tail-byte forwarding (split STA/STD semantics).
-        self.late_producers: List["PipeUop"] = []
+        self.late_producers = _NO_EDGES
         self.fetch_c = 0
         self.rename_c = 0
         self.dispatch_c = 0
@@ -85,7 +92,21 @@ class PipeUop:
         self.fp_prediction = None
         self.raw_corrected = False
         self.unfused_reason: Optional[str] = None
-        self._rebuild_dests()
+        # Inline single-destination bookkeeping (the construction-time
+        # case: fusion arrives later via fuse_* -> _rebuild_dests).
+        dest = head.dest
+        if dest is None:
+            self.dests = ()
+            self.n_int_dests = 0
+            self.n_fp_dests = 0
+        elif dest < FP_REG_BASE:
+            self.dests = (dest,)
+            self.n_int_dests = 1
+            self.n_fp_dests = 0
+        else:
+            self.dests = (dest,)
+            self.n_int_dests = 0
+            self.n_fp_dests = 1
 
     # -- identity ------------------------------------------------------------
 
@@ -148,7 +169,7 @@ class PipeUop:
         """Revert to a simple µ-op; returns the dropped tail, if any."""
         tail = self.tail
         self.tail = None
-        self.late_producers = []
+        self.late_producers = _NO_EDGES
         self.tail_complete_c = None
         self.tail_dest_reg = None
         self.fusion = FusionKind.NONE
@@ -167,8 +188,12 @@ class PipeUop:
                 and self.tail.dest not in dests:
             dests.append(self.tail.dest)
         self.dests = tuple(dests)
-        self.n_int_dests = sum(1 for d in dests if d < FP_REG_BASE)
-        self.n_fp_dests = len(dests) - self.n_int_dests
+        ints = 0
+        for d in dests:
+            if d < FP_REG_BASE:
+                ints += 1
+        self.n_int_dests = ints
+        self.n_fp_dests = len(dests) - ints
 
     # -- scheduling -----------------------------------------------------------
 

@@ -57,30 +57,45 @@ class BranchPredictor:
         return self._bimodal[bi_index] >= 2
 
     def update(self, pc: int, taken: bool) -> bool:
-        """Train with the resolved direction; returns mispredicted."""
-        bi_index, gs_index = self._indices(pc)
-        bimodal_pred = self._bimodal[bi_index] >= 2
-        gshare_pred = self._gshare[gs_index] >= 2
-        used_gshare = self._chooser[bi_index] >= 2
-        prediction = gshare_pred if used_gshare else bimodal_pred
+        """Train with the resolved direction; returns mispredicted.
 
-        self.stats.lookups += 1
+        The returned verdict uses the same pre-update table state as
+        :meth:`predict`, so callers that train immediately after
+        predicting can rely on this one call for both.
+        """
+        bimodal = self._bimodal
+        gshare = self._gshare
+        chooser = self._chooser
+        bi_index = (pc >> 2) & self._mask
+        gs_index = (bi_index ^ self.ghr) & self._mask
+        bimodal_pred = bimodal[bi_index] >= 2
+        gshare_pred = gshare[gs_index] >= 2
+        prediction = gshare_pred if chooser[bi_index] >= 2 else bimodal_pred
+
+        stats = self.stats
+        stats.lookups += 1
         mispredicted = prediction != taken
         if mispredicted:
-            self.stats.mispredicts += 1
+            stats.mispredicts += 1
 
         # Chooser trains only when the two sides disagree.
         if bimodal_pred != gshare_pred:
             if gshare_pred == taken:
-                self._chooser[bi_index] = min(3, self._chooser[bi_index] + 1)
-            else:
-                self._chooser[bi_index] = max(0, self._chooser[bi_index] - 1)
+                if chooser[bi_index] < 3:
+                    chooser[bi_index] += 1
+            elif chooser[bi_index] > 0:
+                chooser[bi_index] -= 1
 
-        for table, index in ((self._bimodal, bi_index), (self._gshare, gs_index)):
-            if taken:
-                table[index] = min(3, table[index] + 1)
-            else:
-                table[index] = max(0, table[index] - 1)
-
-        self.ghr = ((self.ghr << 1) | int(taken)) & self._history_mask
+        if taken:
+            if bimodal[bi_index] < 3:
+                bimodal[bi_index] += 1
+            if gshare[gs_index] < 3:
+                gshare[gs_index] += 1
+            self.ghr = ((self.ghr << 1) | 1) & self._history_mask
+        else:
+            if bimodal[bi_index] > 0:
+                bimodal[bi_index] -= 1
+            if gshare[gs_index] > 0:
+                gshare[gs_index] -= 1
+            self.ghr = (self.ghr << 1) & self._history_mask
         return mispredicted

@@ -55,11 +55,14 @@ class _Table:
         return None
 
     def lookup(self, index: int, tag: int) -> Optional[_Entry]:
-        entry = self._locate(index, tag)
-        if entry is not None:
-            self._tick += 1
-            entry.lru_tick = self._tick
-        return entry
+        # _locate, inlined: two lookups per FP prediction make the
+        # extra call visible in pipeline profiles.
+        for entry in self._entries[index]:
+            if entry.valid and entry.tag == tag:
+                self._tick += 1
+                entry.lru_tick = self._tick
+                return entry
+        return None
 
     def train(self, index: int, tag: int, distance: int) -> None:
         """UCH training: reinforce a matching distance, else (re)allocate."""

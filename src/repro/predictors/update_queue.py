@@ -11,19 +11,25 @@ loses no performance.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 
-@dataclass(frozen=True)
 class _PendingTrain:
-    pc: int
-    addr: int
-    commit_number: int
-    ghr: int
-    #: Trace sequence number of the committing µ-op — audit provenance
-    #: for the commit log, not a hardware field.
-    seq: int = -1
+    """One queued UCH training record (plain slotted class: the queue
+    sees every committing memory µ-op, and a default field would bar
+    ``__slots__`` on a dataclass before Python 3.10)."""
+
+    __slots__ = ("pc", "addr", "commit_number", "ghr", "seq")
+
+    def __init__(self, pc: int, addr: int, commit_number: int, ghr: int,
+                 seq: int = -1):
+        self.pc = pc
+        self.addr = addr
+        self.commit_number = commit_number
+        self.ghr = ghr
+        #: Trace sequence number of the committing µ-op — audit
+        #: provenance for the commit log, not a hardware field.
+        self.seq = seq
 
 
 class UCHUpdateQueue:

@@ -1,0 +1,59 @@
+"""Golden cycle-count enforcement: the hot loop's cycle-exactness pin.
+
+``golden_cycles.json`` records cycles + a full-stats digest for every
+catalog workload under every fusion mode at a small µ-op budget.  A
+perf refactor that changes *any* timing or counter fails here with a
+per-cell diff; intentional timing changes regenerate the file with
+``PYTHONPATH=src python tools/update_golden_cycles.py`` and review the
+diff.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.perf.golden import (
+    GOLDEN_MAX_UOPS,
+    GOLDEN_SCHEMA_VERSION,
+    compare_to_golden,
+    snapshot_entry,
+)
+from repro.workloads import workload_names
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_cycles.json")
+
+with open(GOLDEN_PATH) as _handle:
+    GOLDEN = json.load(_handle)
+
+
+def test_golden_file_is_current_shape():
+    """The committed file matches the code's schema, budget, and config.
+
+    A drifted fingerprint means someone changed a default timing
+    parameter without regenerating the snapshots — the per-cell test
+    below would fail anyway, but this names the actual cause.
+    """
+    assert GOLDEN["schema"] == GOLDEN_SCHEMA_VERSION
+    assert GOLDEN["max_uops"] == GOLDEN_MAX_UOPS
+    assert GOLDEN["config_fingerprint"] == ProcessorConfig().fingerprint()
+
+
+def test_golden_covers_full_matrix():
+    """Every catalog workload × every fusion mode has a pinned cell."""
+    mode_names = {mode.value for mode in FusionMode}
+    assert set(GOLDEN["snapshots"]) == set(workload_names())
+    for workload, modes in GOLDEN["snapshots"].items():
+        assert set(modes) == mode_names, workload
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload", sorted(workload_names()))
+def test_golden_cycles(workload):
+    """Each workload's 6-mode snapshot is bit-identical to the golden."""
+    fresh = {mode.value: snapshot_entry(workload, mode)
+             for mode in FusionMode}
+    golden = {"snapshots": {workload: GOLDEN["snapshots"][workload]}}
+    problems = compare_to_golden(golden, {workload: fresh})
+    assert not problems, "\n".join(problems)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI perf gate over a ``repro bench`` payload.
+
+Usage::
+
+    python tools/check_perf.py [BENCH_pipeline.json]
+
+Two checks, both against the payload the bench just wrote:
+
+* **Throughput floor** — ``throughput.aggregate_uops_per_s`` must be at
+  least ``$REPRO_PERF_FLOOR`` (µops/s).  The default floor is a
+  catastrophic-regression tripwire, not a performance target: CI
+  runners vary widely in speed, so it is set well below what any
+  healthy run achieves while still catching an accidental return of
+  interpreter-loop overhead (the pre-overhaul hot loop ran at ~20-30k
+  µops/s per mode on a developer machine; an order-of-magnitude slide
+  under that shows up even on the slowest runner).
+* **Cycle exactness vs the committed baseline** — when the bench ran
+  against an existing ``BENCH_pipeline.json`` (the CLI records the
+  delta under ``vs_previous``), any moved ``cycles`` cell fails the
+  gate.  Throughput wins that change timing are timing changes and
+  must arrive via an explicit golden-file update instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_FLOOR = 10_000  # µops/s; override with REPRO_PERF_FLOOR
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    path = argv[0] if argv else "BENCH_pipeline.json"
+    floor = int(os.environ.get("REPRO_PERF_FLOOR", DEFAULT_FLOOR))
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("check_perf: cannot read %s: %s" % (path, exc))
+        return 2
+
+    throughput = payload.get("throughput") or {}
+    aggregate = throughput.get("aggregate_uops_per_s")
+    if aggregate is None:
+        print("check_perf: %s has no throughput block "
+              "(bench predates the profiling subsystem?)" % path)
+        return 2
+    print("check_perf: aggregate throughput %d µops/s (floor %d)"
+          % (aggregate, floor))
+    failed = False
+    if aggregate < floor:
+        print("check_perf: FAIL — below the µops/s floor")
+        failed = True
+
+    delta = payload.get("vs_previous")
+    if delta:
+        compared = delta.get("cells_compared", 0)
+        if delta.get("cycles_identical", True):
+            print("check_perf: cycles identical to previous bench "
+                  "(%d cells compared)" % compared)
+        else:
+            mismatches = delta.get("cycle_mismatches", [])
+            print("check_perf: FAIL — %d (workload, mode) cell(s) "
+                  "changed cycles vs the committed baseline:"
+                  % len(mismatches))
+            for line in mismatches:
+                print("  " + line)
+            failed = True
+        speedup = delta.get("aggregate_speedup")
+        if speedup:
+            print("check_perf: %.3fx aggregate µops/s vs previous bench"
+                  % speedup)
+    else:
+        print("check_perf: no previous bench to compare against")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

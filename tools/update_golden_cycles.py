@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate the golden cycle-count snapshot file.
+
+Runs every catalog workload under every fusion mode at the small golden
+µ-op budget and rewrites ``tests/golden_cycles.json``.  Run this ONLY
+when a timing change is intentional — the diff of the golden file *is*
+the review artifact: every (workload, mode) whose cycle count moved is
+one visible line.
+
+Usage::
+
+    PYTHONPATH=src python tools/update_golden_cycles.py [--check]
+
+``--check`` recomputes the matrix and exits non-zero on any mismatch
+without writing, printing one line per drifted cell (what CI runs via
+``tests/test_golden_cycles.py``; the flag exists for quick local use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.perf.golden import (  # noqa: E402
+    compare_to_golden,
+    golden_document,
+    snapshot_matrix,
+)
+
+GOLDEN_PATH = os.path.join(REPO_ROOT, "tests", "golden_cycles.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify against the committed file; write "
+                             "nothing")
+    parser.add_argument("--output", default=GOLDEN_PATH,
+                        help="golden file path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+
+    def narrate(workload, mode_name, entry):
+        print("  %-18s %-14s %7d cycles" % (workload, mode_name,
+                                            entry["cycles"]))
+
+    matrix = snapshot_matrix(progress=narrate)
+    elapsed = time.perf_counter() - started
+
+    if args.check:
+        with open(args.output) as handle:
+            golden = json.load(handle)
+        problems = compare_to_golden(golden, matrix)
+        for line in problems:
+            print("DRIFT: %s" % line)
+        print("%d cells checked in %.1fs: %s"
+              % (sum(len(m) for m in matrix.values()), elapsed,
+                 "cycle-exact" if not problems
+                 else "%d mismatches" % len(problems)))
+        return 1 if problems else 0
+
+    document = golden_document(matrix)
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d workloads x %d modes in %.1fs)"
+          % (args.output, len(matrix),
+             max(len(m) for m in matrix.values()), elapsed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
