@@ -25,7 +25,7 @@ import dataclasses
 import sys
 from typing import List, Optional
 
-from repro.config import FusionMode, ProcessorConfig
+from repro.config import DEFAULT_MAX_UOPS, FusionMode, ProcessorConfig
 from repro.core.simulator import ipc_uplift, simulate, simulate_modes
 from repro.core.storage import helios_storage_budget
 from repro.experiments import (
@@ -33,6 +33,7 @@ from repro.experiments import (
     figure8, figure9, figure10, legality_census, run_suite,
     table1, table2, table3,
 )
+from repro.sampling import DEFAULT_WINDOWS as _SAMPLE_DEFAULT_WINDOWS
 from repro.workloads import (
     CATALOG, TraceStore, build_workload, ensure_known, workload_names,
 )
@@ -94,12 +95,92 @@ def _config_from(args) -> ProcessorConfig:
     return config
 
 
+def _trace_for(args):
+    """The trace a simulate-family command operates on.
+
+    ``--scale-to N`` builds the iteration-scaled multi-million-µop
+    trace; ``--max-uops N`` caps the regular catalog capture; neither
+    uses the catalog default (:data:`repro.config.DEFAULT_MAX_UOPS`).
+    """
+    if getattr(args, "scale_to", None):
+        from repro.sampling import build_scaled_workload
+        return build_scaled_workload(args.workload, args.scale_to)
+    if getattr(args, "max_uops", None):
+        return build_workload(args.workload, max_uops=args.max_uops)
+    return build_workload(args.workload)
+
+
+def _render_estimate(est) -> str:
+    lines = ["sampled estimate: %s, %s" % (est.workload, est.mode)]
+    if est.exact:
+        lines.append("  trace too short to sample — simulated in full "
+                     "detail (exact, %d µ-ops)" % est.total_uops)
+    else:
+        warm = ("continuous" if est.warmup_uops is None
+                else "bounded %d µ-ops" % est.warmup_uops)
+        lines.append("  %d µ-ops: exact head %d + %d windows × %d "
+                     "measured (warming: %s)"
+                     % (est.total_uops, est.head_uops, est.windows,
+                        est.window_uops, warm))
+    lines.append("  IPC %.4f ± %.2f%%  (95%% CI %.4f – %.4f)"
+                 % (est.ipc_estimate, 100 * est.ipc_rel_err,
+                    est.ipc_low, est.ipc_high))
+    if est.cpi is not None:
+        lines.append("  CPI %.4f ± %.4f  (est. %.0f cycles)"
+                     % (est.cpi.mean, est.cpi.half_width, est.est_cycles))
+    if est.cpi_bucket_shares:
+        top = sorted(est.cpi_bucket_shares.items(),
+                     key=lambda kv: -kv[1])[:6]
+        lines.append("  CPI buckets: " + ", ".join(
+            "%s %.1f%%" % (name, 100 * share) for name, share in top))
+    return "\n".join(lines)
+
+
+def _simulate_sampled(args, config: ProcessorConfig) -> int:
+    from repro.sampling import sampled_simulate
+    if args.sample < 2:
+        raise SystemExit("--sample needs at least 2 strata "
+                         "(exact head + one detail window)")
+    mode = _parse_mode(args.mode) if args.mode else FusionMode.HELIOS
+    est = sampled_simulate(_trace_for(args), config.with_mode(mode),
+                           windows=args.sample, warmup=args.warmup,
+                           name=args.workload)
+    print(_render_estimate(est))
+    return 0
+
+
+def _simulate_segmented(args, config: ProcessorConfig) -> int:
+    from repro.experiments import get_segmented_result
+    if args.segments < 1:
+        raise SystemExit("--segments needs at least 1 segment")
+    mode = _parse_mode(args.mode) if args.mode else FusionMode.HELIOS
+    result = get_segmented_result(
+        args.workload, mode, args.segments, warmup=args.warmup,
+        config=config, jobs=args.jobs, max_uops=args.max_uops,
+        scale_to=args.scale_to)
+    print(result.summary())
+    warm = ("full-prefix (bit-exact splice)" if args.warmup is None
+            else "bounded %d µ-ops (approximate splice)" % args.warmup)
+    print("spliced from %d segment(s); warmup: %s"
+          % (args.segments, warm))
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     if args.workload not in CATALOG:
         raise SystemExit("unknown workload %r (see `repro workloads`)"
                          % args.workload)
-    trace = build_workload(args.workload)
+    if args.sample is not None and args.segments is not None:
+        raise SystemExit(
+            "--sample (approximate, single-process) and --segments "
+            "(exact, parallel) are alternative strategies; pick one "
+            "(see DESIGN §4e)")
     config = _config_from(args)
+    if args.sample is not None:
+        return _simulate_sampled(args, config)
+    if args.segments is not None:
+        return _simulate_segmented(args, config)
+    trace = _trace_for(args)
     if args.mode:
         mode = _parse_mode(args.mode)
         if args.fp_kind and mode is not FusionMode.HELIOS:
@@ -206,7 +287,7 @@ def _cmd_bench(args) -> int:
     workloads = _workload_list(args.workloads)
     previous = load_bench(args.output)
     payload = run_bench(workloads=workloads, quick=args.quick,
-                        max_uops=args.max_uops)
+                        max_uops=args.max_uops, sample=args.sample)
     compare_with_previous(payload, previous)
     path = write_bench(payload, args.output)
     totals = payload["totals"]
@@ -236,6 +317,19 @@ def _cmd_bench(args) -> int:
               % (throughput["aggregate_uops_per_s"],
                  throughput["aggregate_uops"],
                  throughput["aggregate_run_s"]))
+    sampled = payload.get("sampled") or {}
+    if sampled.get("rows"):
+        print("  sampled vs full detail (%s, ~%d µ-ops, %d strata):"
+              % (sampled["mode"], sampled["target_uops"],
+                 sampled["windows"]))
+        for name, row in sampled["rows"].items():
+            print("    %-12s %5.1fx  (%.2f s vs %.2f s)  "
+                  "IPC %.4f vs %.4f  err %+.2f%% (bound ±%.2f%%)%s"
+                  % (name, row["speedup"] or 0.0, row["sampled_run_s"],
+                     row["full_run_s"], row["ipc_estimate"],
+                     row["full_ipc"], 100 * row["ipc_err_vs_full"],
+                     100 * row["ipc_rel_err_bound"],
+                     "" if row["within_bound"] else "  OUT OF BOUND"))
     delta = payload.get("vs_previous")
     if delta and delta.get("aggregate_speedup"):
         verdict = ("cycles identical" if delta["cycles_identical"]
@@ -377,9 +471,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="simulate one workload")
     sim.add_argument("workload")
-    sim.add_argument("--mode", help="one configuration (default: all six)")
+    sim.add_argument("--mode", help="one configuration (default: all six; "
+                                    "--sample/--segments default: Helios)")
     sim.add_argument("--fp-kind", choices=["tournament", "tage", "local"],
                      help="fusion predictor organization for Helios")
+    sim.add_argument("--max-uops", type=int, default=None, metavar="N",
+                     help="dynamic µ-op cap per trace (default %d, "
+                          "repro.config.DEFAULT_MAX_UOPS)"
+                          % DEFAULT_MAX_UOPS)
+    sim.add_argument("--scale-to", type=int, default=None, metavar="N",
+                     help="iteration-scale the kernel until its trace "
+                          "reaches ~N µ-ops (multi-million-µop runs; "
+                          "overrides --max-uops)")
+    sim.add_argument("--sample", type=int, nargs="?",
+                     const=_SAMPLE_DEFAULT_WINDOWS,
+                     default=None, metavar="N",
+                     help="sampled simulation: N systematic strata — "
+                          "exact head + N-1 detail windows with "
+                          "functional warming between them (default "
+                          "N=%d); reports IPC/CPI with a 95%%-confidence "
+                          "error bar" % _SAMPLE_DEFAULT_WINDOWS)
+    sim.add_argument("--warmup", type=int, default=None, metavar="M",
+                     help="bounded warmup budget (µ-ops) for "
+                          "--sample/--segments; default: continuous/"
+                          "full-prefix warming (slower, most accurate; "
+                          "bit-exact splice for --segments)")
+    sim.add_argument("--segments", type=int, default=None, metavar="K",
+                     help="segment-parallel exact simulation: splice K "
+                          "independently-simulated segments (bit-exact "
+                          "with default full warmup)")
+    sim.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for --segments "
+                          "(default: $REPRO_JOBS or 1)")
     sim.set_defaults(func=_cmd_simulate)
 
     exp = sub.add_parser("experiment",
@@ -432,7 +555,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_BENCH_WORKLOADS or the "
                             "representative 12)")
     bench.add_argument("--max-uops", type=int, default=None, metavar="N",
-                       help="dynamic µ-op cap per trace (default 200000)")
+                       help="dynamic µ-op cap per trace (default %d, "
+                            "repro.config.DEFAULT_MAX_UOPS)"
+                            % DEFAULT_MAX_UOPS)
+    bench.add_argument("--sample", action="store_true",
+                       help="also benchmark sampled simulation on "
+                            "scaled traces: speedup vs full detail + "
+                            "observed IPC error vs the reported bound")
     bench.add_argument("--output", default="BENCH_pipeline.json",
                        metavar="FILE", help="output path")
     bench.set_defaults(func=_cmd_bench)
@@ -446,7 +575,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["tournament", "tage", "local"],
                          help="fusion predictor organization for Helios")
     profile.add_argument("--max-uops", type=int, default=None, metavar="N",
-                         help="dynamic µ-op cap for the trace")
+                         help="dynamic µ-op cap per trace (default %d, "
+                              "repro.config.DEFAULT_MAX_UOPS)"
+                              % DEFAULT_MAX_UOPS)
     profile.add_argument("--top", type=int, default=15, metavar="N",
                          help="hottest functions to list (default 15)")
     profile.add_argument("--pstats-out", metavar="FILE",
@@ -469,7 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="event ring capacity (default 65536; keeps "
                             "the last N events)")
     debug.add_argument("--max-uops", type=int, default=None, metavar="N",
-                       help="dynamic µ-op cap for the trace")
+                       help="dynamic µ-op cap per trace (default %d, "
+                              "repro.config.DEFAULT_MAX_UOPS)"
+                              % DEFAULT_MAX_UOPS)
     debug.set_defaults(func=_cmd_debug)
 
     analyze = sub.add_parser(
@@ -481,7 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--mode",
                          help="one configuration (default: all six)")
     analyze.add_argument("--max-uops", type=int, default=None, metavar="N",
-                         help="dynamic µ-op cap for the trace")
+                         help="dynamic µ-op cap per trace (default %d, "
+                              "repro.config.DEFAULT_MAX_UOPS)"
+                              % DEFAULT_MAX_UOPS)
     analyze.add_argument("--no-sanitize", action="store_true",
                          help="skip the per-cycle µ-arch sanitizer "
                               "(faster; legality checks still run)")

@@ -16,6 +16,16 @@ from dataclasses import dataclass, field, replace
 from typing import Dict
 
 
+#: Default dynamic µ-op cap for every trace-consuming entry point
+#: (``repro simulate/bench/analyze/debug/profile`` and
+#: :func:`repro.workloads.build_workload`).  This is deliberately lower
+#: than the functional ``Interpreter``'s own 2M safety cap
+#: (:data:`repro.isa.interp.DEFAULT_INTERP_MAX_UOPS`): 200k µ-ops is
+#: the full-detail budget, while multi-million-µop regions are reached
+#: through the sampling / segmenting layer (:mod:`repro.sampling`).
+DEFAULT_MAX_UOPS = 200_000
+
+
 class FusionMode(enum.Enum):
     """The fusion configurations evaluated in the paper (Section V-A)."""
 

@@ -24,7 +24,12 @@ from repro.experiments.figures import (
     figure9,
     figure10,
 )
-from repro.experiments.runner import clear_cache, get_result, run_suite
+from repro.experiments.runner import (
+    clear_cache,
+    get_result,
+    get_segmented_result,
+    run_suite,
+)
 from repro.experiments.tables import table1, table2, table3
 
 __all__ = [
@@ -32,7 +37,7 @@ __all__ = [
     "cpi_accounting",
     "figure2", "figure3", "figure4", "figure5",
     "figure8", "figure9", "figure10",
-    "clear_cache", "get_result", "run_suite",
+    "clear_cache", "get_result", "get_segmented_result", "run_suite",
     "legality_census",
     "table1", "table2", "table3",
 ]

@@ -95,6 +95,44 @@ def _execute_job(job: Tuple[str, ProcessorConfig]) -> SimResult:
     return simulate(build_workload(name), config, name=name)
 
 
+def _resolve_segment_trace(spec: Tuple[str, str, Optional[int]]):
+    """Materialise the trace a segment job measures.
+
+    ``spec`` is ``(kind, name, arg)``: kind ``"catalog"`` builds the
+    regular workload trace (``arg`` = optional µ-op cap), kind
+    ``"scaled"`` builds the iteration-scaled trace (``arg`` = target
+    µ-ops).  Both paths hit the in-process memo first, so ``fork``
+    workers reuse the parent's copy-on-write trace instead of
+    re-reading it.
+    """
+    kind, name, arg = spec
+    if kind == "scaled":
+        from repro.sampling.scale import build_scaled_workload
+        return build_scaled_workload(name, arg)
+    if arg:
+        return build_workload(name, max_uops=arg)
+    return build_workload(name)
+
+
+def _execute_segment_job(job) -> Tuple[bool, object]:
+    """Worker entry point: one exact segment of a longer trace.
+
+    Returns ``(True, delta_dict)`` — the plain picklable counter deltas
+    :func:`repro.sampling.segment.simulate_segment` produces — or
+    ``(False, "ExcType: message")``.  The worker renumbers its own
+    sub-trace locally; only the small delta dict crosses the process
+    boundary.
+    """
+    spec, config, sub_start, sub_stop, measure_from, measure_to = job
+    try:
+        from repro.sampling.segment import simulate_segment
+        trace = _resolve_segment_trace(spec)
+        sub = trace.segment(sub_start, sub_stop)
+        return True, simulate_segment(sub, config, measure_from, measure_to)
+    except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
+        return False, "%s: %s" % (type(exc).__name__, exc)
+
+
 def _execute_job_guarded(job: Tuple[str, ProcessorConfig]
                          ) -> Tuple[bool, object]:
     """Worker entry point that never raises.
@@ -185,6 +223,76 @@ class SweepEngine:
             # chunksize=1: jobs are coarse (whole simulations) and
             # uneven, so per-job dispatch load-balances best.
             return pool.map(_execute_job_guarded, jobs, chunksize=1)
+
+    # ------------------------------------------------------------- segments --
+
+    def segmented(self, workload: str, mode: FusionMode,
+                  segments: int,
+                  warmup: Optional[int] = None,
+                  config: Optional[ProcessorConfig] = None,
+                  max_uops: Optional[int] = None,
+                  scale_to: Optional[int] = None) -> SimResult:
+        """Segment-parallel exact simulation of one (workload, mode).
+
+        The trace is cut into ``segments`` contiguous measurement
+        regions (:func:`repro.sampling.segment.plan_segments`); each
+        region is simulated as an independent job — serially when the
+        engine has one worker, over the multiprocessing pool otherwise
+        — and the per-segment counter deltas are spliced back into one
+        :class:`SimResult`.  With ``warmup=None`` the splice is
+        bit-exact against serial simulation; bounded warmup trades
+        exactness for O(L + K·W) total work (see DESIGN §4e).
+
+        ``scale_to`` measures the iteration-scaled trace
+        (:func:`repro.sampling.scale.build_scaled_workload`) instead of
+        the catalog capture.  Results are memoised in-process only —
+        never in the persistent disk cache, whose entries must all mean
+        "serial full-detail run" (bounded-warmup splices are
+        approximate, and scaled traces are not the catalog capture).
+        """
+        from repro.sampling.segment import plan_segments, splice
+
+        base = config or ProcessorConfig()
+        full = base.with_mode(mode)
+        spec = (("scaled", workload, scale_to) if scale_to
+                else ("catalog", workload, max_uops))
+        memo_key = "%s|spec=%s|segments=%d|warmup=%s" % (
+            cache_key(workload, full), spec, segments, warmup)
+        hit = self.memo.get(memo_key)
+        if hit is not None:
+            return hit
+
+        # Materialise the parent trace before planning/forking so
+        # ``fork`` workers inherit it copy-on-write.
+        trace = _resolve_segment_trace(spec)
+        plans = plan_segments(len(trace), segments, warmup)
+        jobs = [(spec, full, p.sub_start, p.sub_stop,
+                 p.measure_from, p.measure_to) for p in plans]
+        workers = min(self.jobs, len(jobs))
+        if workers <= 1:
+            outcomes = [_execute_segment_job(job) for job in jobs]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            with ctx.Pool(processes=workers) as pool:
+                outcomes = pool.map(_execute_segment_job, jobs,
+                                    chunksize=1)
+
+        deltas = []
+        failures: List[Tuple[str, str, str]] = []
+        for plan, (ok, outcome) in zip(plans, outcomes):
+            if ok:
+                deltas.append(outcome)
+            else:
+                failures.append((workload, "%s:seg%d"
+                                 % (full.fusion_mode.value, plan.index),
+                                 str(outcome)))
+        if failures:
+            raise SweepJobError(failures)
+        result = splice(deltas, workload, full)
+        self.memo[memo_key] = result
+        return result
 
     # --------------------------------------------------------------- sweeps --
 

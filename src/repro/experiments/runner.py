@@ -43,6 +43,27 @@ def get_result(workload: str, mode: FusionMode,
     return _engine(use_cache=use_cache).result(workload, mode, config)
 
 
+def get_segmented_result(workload: str, mode: FusionMode,
+                         segments: int,
+                         warmup: Optional[int] = None,
+                         config: Optional[ProcessorConfig] = None,
+                         jobs: Optional[int] = None,
+                         max_uops: Optional[int] = None,
+                         scale_to: Optional[int] = None) -> SimResult:
+    """Segment-parallel exact simulation of one (workload, mode).
+
+    Splices K independently-simulated segments back into one
+    :class:`SimResult` — bit-exact against serial simulation when
+    ``warmup`` is ``None`` (full-prefix warmup), within a warmup-length
+    -dependent tolerance otherwise.  Spliced results stay in the
+    in-process memo only; the persistent disk cache holds exclusively
+    serial full-detail results.
+    """
+    return _engine(jobs=jobs).segmented(
+        workload, mode, segments, warmup=warmup, config=config,
+        max_uops=max_uops, scale_to=scale_to)
+
+
 def run_suite(modes: Iterable[FusionMode],
               workloads: Optional[List[str]] = None,
               config: Optional[ProcessorConfig] = None,

@@ -51,17 +51,23 @@ def _note(reason_counts: Optional[Dict[Reason, int]], reason: Reason) -> None:
         reason_counts[reason] = reason_counts.get(reason, 0) + 1
 
 
-def oracle_memory_pairs(trace: Sequence[MicroOp],
-                        granularity: int = 64,
-                        max_distance: int = 64,
-                        consecutive_only: bool = False,
-                        require_same_base: bool = False,
-                        require_contiguous: bool = False,
-                        allow_asymmetric: bool = True,
-                        stores_sbr_only: bool = True,
-                        reason_counts: Optional[Dict[Reason, int]] = None,
-                        ) -> List[FusedPair]:
-    """Greedy oldest-first oracle pairing of memory µ-ops.
+def oracle_memory_pairs_reference(trace: Sequence[MicroOp],
+                                  granularity: int = 64,
+                                  max_distance: int = 64,
+                                  consecutive_only: bool = False,
+                                  require_same_base: bool = False,
+                                  require_contiguous: bool = False,
+                                  allow_asymmetric: bool = True,
+                                  stores_sbr_only: bool = True,
+                                  reason_counts: Optional[Dict[Reason, int]] = None,
+                                  ) -> List[FusedPair]:
+    """Reference greedy oldest-first oracle pairing of memory µ-ops.
+
+    This is the readable, helper-factored formulation; the production
+    :func:`oracle_memory_pairs` is the same algorithm with the per-tail
+    work inlined (the tier-1 suite asserts byte-identical output on
+    every catalog workload).  Prefer editing *this* function when the
+    pairing rules change, then mirror the change in the fast scan.
 
     With ``consecutive_only``/``require_same_base``/``require_contiguous``
     the same routine also produces the restricted censuses used by the
@@ -132,6 +138,152 @@ def oracle_memory_pairs(trace: Sequence[MicroOp],
                 if tail.is_load and not load_overlap \
                         and _straddles(head, tail):
                     load_overlap = True
+    return pairs
+
+
+def oracle_memory_pairs(trace: Sequence[MicroOp],
+                        granularity: int = 64,
+                        max_distance: int = 64,
+                        consecutive_only: bool = False,
+                        require_same_base: bool = False,
+                        require_contiguous: bool = False,
+                        allow_asymmetric: bool = True,
+                        stores_sbr_only: bool = True,
+                        reason_counts: Optional[Dict[Reason, int]] = None,
+                        ) -> List[FusedPair]:
+    """Greedy oldest-first oracle pairing of memory µ-ops (fast scan).
+
+    Semantically identical to :func:`oracle_memory_pairs_reference` —
+    same pairs, same census, same greedy order — with the per-tail
+    work flattened into the scan loop:
+
+    * the eligibility helper is inlined so the common rejections
+      (wrong kind, span, taint) cost no call frame;
+    * register-taint membership uses ``set.isdisjoint`` against the
+      source tuple (one C call) instead of a generator ``any``;
+    * taint-generation bookkeeping replaces unconditional re-scans:
+      source-taint is only evaluated for µ-ops that can *carry* taint
+      (a destination register or a store), and the memory-alias
+      interval walk only runs while tainted stores actually exist;
+    * per-head invariants (addresses, base register, kind) are hoisted
+      out of the catalyst walk, and ``base_reg``/``end_addr`` property
+      calls are replaced with slot arithmetic.
+
+    The tier-1 suite asserts byte-identical pair lists against the
+    reference on every catalog workload.
+    """
+    uops = list(trace)
+    n = len(uops)
+    fused = [False] * (uops[-1].seq + 1 if uops else 0)
+    pairs: List[FusedPair] = []
+    horizon = 1 if consecutive_only else max_distance
+    census = reason_counts is not None
+    check_contiguity = require_contiguous
+    LEGAL = Reason.LEGAL
+
+    for i, head in enumerate(uops):
+        if not head.is_memory or fused[head.seq]:
+            continue
+        head_seq = head.seq
+        head_dest = head.dest
+        head_is_load = head.is_load
+        head_is_store = head.is_store
+        head_addr = head.addr
+        head_size = head.size
+        head_end = head_addr + head_size
+        head_base = head.inst.rs1
+        tainted = {head_dest} if head_dest is not None else set()
+        tainted_mem = [(head_addr, head_end)] if head_is_store else None
+        load_overlap = False
+        stop = i + 1 + horizon
+        if stop > n:
+            stop = n
+        for j in range(i + 1, stop):
+            tail = uops[j]
+            if tail.is_serializing:
+                _note(reason_counts, Reason.SERIALIZING_OP)
+                break
+            tail_is_load = tail.is_load
+            tail_is_store = tail.is_store
+            reason = None
+            if (tail_is_load or tail_is_store) \
+                    and head_is_load == tail_is_load:
+                tail_addr = tail.addr
+                tail_end = tail_addr + tail.size
+                if fused[tail.seq]:
+                    reason = Reason.ALREADY_FUSED
+                elif not allow_asymmetric and head_size != tail.size:
+                    reason = Reason.ASYMMETRIC_SIZE
+                else:
+                    same_base = head_base == tail.inst.rs1
+                    if require_same_base and not same_base:
+                        reason = Reason.BASE_MISMATCH
+                    elif head_is_store and stores_sbr_only \
+                            and not same_base:
+                        reason = Reason.DBR_STORE
+                    elif ((head_end if head_end > tail_end else tail_end)
+                          - (head_addr if head_addr < tail_addr
+                             else tail_addr)) > granularity:
+                        reason = Reason.SPAN
+                    elif check_contiguity and classify_contiguity(
+                            head, tail, granularity) \
+                            is not Contiguity.CONTIGUOUS:
+                        reason = Reason.NON_CONTIGUOUS
+                    elif tainted and not tainted.isdisjoint(tail.srcs):
+                        reason = Reason.DEADLOCK_DEPENDENCE
+                    elif tail_is_load and tainted_mem \
+                            and _reads_any(tainted_mem, tail):
+                        reason = Reason.DEADLOCK_DEPENDENCE
+                    elif head_is_store and load_overlap:
+                        reason = Reason.CATALYST_LOAD_OVERLAP
+                    elif head_is_load and head_dest is not None \
+                            and head_dest == tail.dest:
+                        reason = Reason.SAME_DEST
+                    elif tail.seq != head_seq + 1 and tail_is_load \
+                            and tail.dest is not None \
+                            and tail.dest == tail.inst.rs1:
+                        reason = Reason.POINTER_CHASE
+                    else:
+                        reason = LEGAL
+                if reason is LEGAL:
+                    fused[head_seq] = True
+                    fused[tail.seq] = True
+                    pairs.append(make_memory_pair(head, tail, granularity))
+                    break
+                if census:
+                    _note(reason_counts, reason)
+            # Propagate taint through the catalyst — evaluated only for
+            # µ-ops that can carry it onward (a destination register or
+            # a store re-tainting memory).
+            tail_dest = tail.dest
+            if tail_dest is not None or tail_is_store:
+                if tainted and not tainted.isdisjoint(tail.srcs):
+                    src_tainted = True
+                elif tail_is_load and tainted_mem \
+                        and _reads_any(tainted_mem, tail):
+                    src_tainted = True
+                else:
+                    src_tainted = False
+                if tail_is_store and src_tainted:
+                    if tainted_mem is None:
+                        tainted_mem = []
+                    tainted_mem.append((tail.addr, tail.addr + tail.size))
+                if tail_dest is not None:
+                    if src_tainted:
+                        tainted.add(tail_dest)
+                    else:
+                        tainted.discard(tail_dest)
+            if head_is_store:
+                if tail_is_store:
+                    _note(reason_counts, Reason.ALIASING_STORE)
+                    break
+                if tail_is_load and not load_overlap:
+                    tail_addr = tail.addr
+                    tail_end = tail_addr + tail.size
+                    if not (tail_addr >= head_end or head_addr >= tail_end) \
+                            and not (tail_addr >= head_addr
+                                     and tail_end <= head_end):
+                        load_overlap = True
     return pairs
 
 

@@ -115,10 +115,18 @@ class Memory:
                 if any(page)}
 
 
+#: Functional-capture safety cap: the interpreter stops recording after
+#: this many µ-ops even if the program never halts.  Distinct from the
+#: *simulation* budget :data:`repro.config.DEFAULT_MAX_UOPS` (200k),
+#: which bounds how much of a trace the cycle-accurate pipeline runs in
+#: full detail by default.
+DEFAULT_INTERP_MAX_UOPS = 2_000_000
+
+
 class Interpreter:
     """Executes a :class:`~repro.isa.program.Program` and records a trace."""
 
-    def __init__(self, program: Program, max_uops: int = 2_000_000,
+    def __init__(self, program: Program, max_uops: int = DEFAULT_INTERP_MAX_UOPS,
                  record_stores: bool = False):
         self.program = program
         self.max_uops = max_uops
@@ -380,6 +388,7 @@ _FP_OPS["fmax.d"] = _fp_arith(max)
 del _suffix
 
 
-def run_program(program: Program, max_uops: int = 2_000_000) -> Trace:
+def run_program(program: Program,
+                max_uops: int = DEFAULT_INTERP_MAX_UOPS) -> Trace:
     """Convenience wrapper: interpret ``program`` and return its trace."""
     return Interpreter(program, max_uops=max_uops).run()

@@ -166,6 +166,24 @@ class Trace:
         """A sub-trace (µ-ops keep their original sequence numbers)."""
         return Trace(self.uops[start:stop], name="%s[%d:%d]" % (self.name, start, stop))
 
+    def segment(self, start: int, stop: int) -> "Trace":
+        """A standalone, *renumbered* sub-trace (sequence numbers
+        0..n-1).
+
+        The pipeline core indexes its trace list by sequence number
+        (``_flush_from``), so a sub-trace simulated on its own must be
+        renumbered — unlike :meth:`slice`, which preserves the original
+        numbering for analyses that cross-reference the parent trace.
+        Fresh :class:`MicroOp` shells are built, but the static
+        :class:`Instruction` objects are shared with the parent, so
+        identity-keyed caches (fusion-window match memo, trace-level
+        analysis memos) stay coherent.
+        """
+        uops = [MicroOp(seq, mo.inst, addr=mo.addr, taken=mo.taken,
+                        target_pc=mo.target_pc)
+                for seq, mo in enumerate(self.uops[start:stop])]
+        return Trace(uops, name="%s[%d:%d]" % (self.name, start, stop))
+
 
 def footprint(uops: Sequence[MicroOp], line_bytes: int = 64) -> int:
     """Number of distinct cache lines touched by the memory µ-ops."""

@@ -102,6 +102,28 @@ class MemoryHierarchy:
             latency += self.config.line_crossing_penalty
         return latency + tlb_penalty
 
+    def warm_access(self, addr: int, size: int) -> None:
+        """State-only access for functional warming.
+
+        Performs exactly the same TLB access and cache lookup chain as
+        :meth:`access_latency` — so contents, recency, and the
+        line-crossing counter evolve bit-identically — but skips the
+        latency arithmetic the warmer would discard.
+        """
+        self.dtlb.access(addr)
+        line_bytes = self.line_bytes
+        first_line = addr // line_bytes
+        last_line = (addr + max(size, 1) - 1) // line_bytes
+        if not self.l1d.lookup(addr):
+            if not self.l2.lookup(addr):
+                self.l3.lookup(addr)
+        if last_line != first_line:
+            self.line_crossings += 1
+            second = last_line * line_bytes
+            if not self.l1d.lookup(second):
+                if not self.l2.lookup(second):
+                    self.l3.lookup(second)
+
     def fetch_line(self, pc: int) -> int:
         """Instruction fetch of the line containing ``pc``.
 

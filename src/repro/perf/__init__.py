@@ -11,9 +11,11 @@ from repro.perf.harness import (
     BENCH_OUTPUT_DEFAULT,
     DEFAULT_BENCH_WORKLOADS,
     QUICK_BENCH_WORKLOADS,
+    SAMPLED_BENCH_WORKLOADS,
     bench_workloads,
     compare_with_previous,
     load_bench,
+    measure_sampled,
     run_bench,
     write_bench,
 )
@@ -28,10 +30,12 @@ __all__ = [
     "BENCH_OUTPUT_DEFAULT",
     "DEFAULT_BENCH_WORKLOADS",
     "QUICK_BENCH_WORKLOADS",
+    "SAMPLED_BENCH_WORKLOADS",
     "bench_workloads",
     "compare_with_previous",
     "dump_pstats",
     "load_bench",
+    "measure_sampled",
     "profile_run",
     "render_profile",
     "run_bench",

@@ -23,11 +23,13 @@ Fusion responsibilities match the paper's Figure 6:
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import gc
 import heapq
 import operator
 import os
+import sys
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -71,6 +73,17 @@ STLF_LATENCY = 5
 #: merely costs one repair flush.  The threshold sits far above any
 #: legitimate commit stall (a DRAM miss plus queueing is < 400 cycles).
 DEADLOCK_WATCHDOG_CYCLES = 1024
+
+#: Drain horizon: upper bound (with slack) on how far past the last
+#: *committed* µ-op the fetch stage can have reached.  In flight at
+#: most: fetch buffer (2 x fetch_width = 16) + AQ (140) + rename latch
+#: (2 x dispatch_width = 10) + ROB (352, which bounds everything
+#: renamed but not committed) < 520 µ-ops.  A trace segment extended
+#: this many µ-ops past a measurement boundary therefore behaves
+#: bit-identically to the full trace up to that boundary — the basis of
+#: the segment-splice exactness contract (see repro.sampling.segment
+#: and DESIGN §4e).
+DRAIN_HORIZON = 1024
 
 #: ``EXECUTION_LATENCY`` as a dense list indexed by ``OpClass`` value —
 #: the issue loop reads it per µ-op, and list indexing beats enum-keyed
@@ -217,7 +230,8 @@ class PipelineCore:
                  observer: Optional["PipelineObserver"] = None,
                  topdown: bool = True,
                  commit_log: Optional["CommitLog"] = None,
-                 sanitizer: Optional["Sanitizer"] = None):
+                 sanitizer: Optional["Sanitizer"] = None,
+                 warm_state: Optional["WarmState"] = None):
         self.trace = list(trace)
         self.config = config
         mode = config.fusion_mode
@@ -329,6 +343,25 @@ class PipelineCore:
             self._oracle_tail_to_head = {
                 p.tail_seq: p.head_seq for p in oracle_pairs}
 
+        # Warm-start (repro.sampling): adopt functionally-warmed
+        # predictor and cache state in place of the cold defaults.
+        # Duck-typed — any object exposing a subset of the attribute
+        # names below works; ``None`` fields keep the cold default.
+        # Helios-only structures are only adopted in Helios mode so a
+        # warm state recorded under one mode cannot smuggle machinery
+        # into another.
+        if warm_state is not None:
+            for attr in ("memory", "branch_pred"):
+                value = getattr(warm_state, attr, None)
+                if value is not None:
+                    setattr(self, attr, value)
+            if mode is FusionMode.HELIOS:
+                for attr in ("fp", "uch_loads", "uch_stores",
+                             "uch_load_queue", "uch_store_queue"):
+                    value = getattr(warm_state, attr, None)
+                    if value is not None:
+                        setattr(self, attr, value)
+
         # Optional µ-op cache preserving consecutive-fusion groupings
         # (Section IV-A's integration discussion; off by default, as in
         # the paper's evaluation).
@@ -343,6 +376,12 @@ class PipelineCore:
                           or bool(self._oracle_tail_to_head))
 
         self.commit_counter = 0
+        if warm_state is not None:
+            # Continue the warmer's commit numbering so UCH entries
+            # recorded during functional warming keep valid distances
+            # (commit numbers are compared mod 2^7 inside the UCH).
+            self.commit_counter = getattr(warm_state, "commit_counter",
+                                          0) or 0
         self.now = 0
         #: Cycle of the last commit progress, for the deadlock watchdog.
         self._last_commit_cycle = 0
@@ -397,8 +436,18 @@ class PipelineCore:
 
     # ------------------------------------------------------------------ run --
 
-    def run(self, max_cycles: Optional[int] = None) -> CoreStats:
+    def run(self, max_cycles: Optional[int] = None,
+            until_instructions: Optional[int] = None) -> CoreStats:
         """Simulate until the whole trace commits; returns the counters.
+
+        ``until_instructions`` stops the loop at the first *cycle
+        boundary* by which at least that many trace µ-ops have
+        committed (the final cycle may commit a few past the threshold
+        — read ``stats.instructions`` for the exact count).  The run is
+        resumable: calling ``run`` again continues from the stopped
+        cycle and produces exactly the state an uninterrupted run would
+        have reached, which is what the sampling / segmenting layer
+        (:mod:`repro.sampling`) measures deltas across.
 
         The cyclic garbage collector is paused for the duration: the
         simulation allocates millions of small objects whose only
@@ -411,14 +460,54 @@ class PipelineCore:
         if gc_was_enabled:
             gc.disable()
         try:
-            return self._run(max_cycles)
+            return self._run(max_cycles, until_instructions)
         finally:
             if gc_was_enabled:
                 gc.enable()
                 gc.collect()
 
-    def _run(self, max_cycles: Optional[int] = None) -> CoreStats:
+    def checkpoint(self) -> "PipelineCore":
+        """An independent deep copy of the full µ-architectural state.
+
+        The returned core resumes from exactly this point: running the
+        copy produces bit-identical counters to continuing the
+        original (the round-trip property tests assert this).  The
+        static trace — the ``MicroOp``/``Instruction`` objects and the
+        trace list itself — and the frozen config are *shared*, not
+        copied, so a checkpoint costs memory proportional to the
+        in-flight window, not the trace, and identity-keyed caches
+        (the fusion window's static-match memo) stay valid.
+
+        Observers, sanitizers, and commit logs hold per-run context
+        that cannot be meaningfully forked; checkpointing with one
+        attached raises.
+        """
+        if (self.observer is not None or self._san is not None
+                or self._clog is not None):
+            raise ValueError(
+                "checkpoint() with an observer/sanitizer/commit-log "
+                "attached is not supported: per-run observation context "
+                "cannot be forked")
+        memo = {id(self.trace): self.trace, id(self.config): self.config}
+        for mo in self.trace:
+            memo[id(mo)] = mo
+            memo[id(mo.inst)] = mo.inst
+        # deepcopy recurses along producer->consumer wait-list chains,
+        # which can run far deeper than the default interpreter limit.
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 1_000_000))
+        try:
+            return copy.deepcopy(self, memo)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def _run(self, max_cycles: Optional[int] = None,
+             until_instructions: Optional[int] = None) -> CoreStats:
         total_instructions = len(self.trace)
+        target_instructions = total_instructions
+        if until_instructions is not None:
+            target_instructions = min(total_instructions,
+                                      max(0, until_instructions))
         limit = max_cycles or (200 * total_instructions + 10_000)
         topdown = self._topdown
         slots = self._slots
@@ -447,7 +536,7 @@ class PipelineCore:
         has_fp = self.fp is not None
         uch_lq = self.uch_load_queue._queue if has_fp else None
         uch_sq = self.uch_store_queue._queue if has_fp else None
-        while stats.instructions < total_instructions:
+        while stats.instructions < target_instructions:
             now = self.now + 1
             self.now = now
             if now > limit:
@@ -510,7 +599,7 @@ class PipelineCore:
                 idle_prev = True
             else:
                 idle_prev = False
-        if self._san is not None:
+        if self._san is not None and stats.instructions >= total_instructions:
             self._san.final(self)
         stats.cycles = self.now
         if self._topdown:

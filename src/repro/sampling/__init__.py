@@ -1,0 +1,68 @@
+"""Sampling & segmentation: scale cycle-accurate runs across the trace.
+
+Two composable strategies for multi-million-µop traces (DESIGN §4e):
+
+* :func:`sampled_simulate` — systematic interval sampling
+  (SMARTS-style): N detail windows with functional warming between
+  them; statistically-bounded IPC/CPI estimates with confidence
+  intervals.  Fast, approximate, single-process.
+* :func:`segmented_simulate` — segment-parallel exact simulation:
+  K contiguous segments with overlapping warmup prefixes, spliced by
+  counter deltas.  Bit-exact with full warmup; the parallel execution
+  path rides the multiprocessing sweep engine
+  (:mod:`repro.experiments.engine`).
+
+Plus :func:`build_scaled_workload`, which rebuilds catalog kernels
+with multiplied iteration counts so traces actually *reach*
+multi-million-µop lengths.
+"""
+
+from repro.sampling.estimate import (
+    IntervalEstimate,
+    SampledEstimate,
+    estimate_mean,
+    t_critical_95,
+)
+from repro.sampling.sample import (
+    DEFAULT_WARMUP_UOPS,
+    DEFAULT_WINDOWS,
+    DETAIL_PREFIX_UOPS,
+    DETAIL_WINDOW_UOPS,
+    SamplePlan,
+    SampleWindow,
+    plan_intervals,
+    sampled_simulate,
+)
+from repro.sampling.scale import build_scaled_workload, clear_scaled_memo
+from repro.sampling.segment import (
+    SegmentPlan,
+    plan_segments,
+    segmented_simulate,
+    simulate_segment,
+    splice,
+)
+from repro.sampling.warm import FunctionalWarmer, WarmState
+
+__all__ = [
+    "DEFAULT_WARMUP_UOPS",
+    "DEFAULT_WINDOWS",
+    "DETAIL_PREFIX_UOPS",
+    "DETAIL_WINDOW_UOPS",
+    "FunctionalWarmer",
+    "IntervalEstimate",
+    "SamplePlan",
+    "SampleWindow",
+    "SampledEstimate",
+    "SegmentPlan",
+    "WarmState",
+    "build_scaled_workload",
+    "clear_scaled_memo",
+    "estimate_mean",
+    "plan_intervals",
+    "plan_segments",
+    "sampled_simulate",
+    "segmented_simulate",
+    "simulate_segment",
+    "splice",
+    "t_critical_95",
+]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.config import DEFAULT_MAX_UOPS as _DEFAULT_MAX_UOPS
 from repro.isa.assembler import assemble
 from repro.isa.interp import run_program
 from repro.isa.program import Program
@@ -190,8 +191,10 @@ def build_program(name: str) -> Program:
     return assemble(spec.source(), name=name)
 
 
-#: Default dynamic µ-op cap per workload trace.
-DEFAULT_MAX_UOPS = 200_000
+#: Default dynamic µ-op cap per workload trace — re-exported from
+#: :mod:`repro.config`, the single authoritative definition shared by
+#: every CLI entry point (run/bench/analyze/debug/profile).
+DEFAULT_MAX_UOPS = _DEFAULT_MAX_UOPS
 
 #: In-process trace memo, keyed by ``(name, max_uops)``.  One entry per
 #: key regardless of whether the caller spelled the default cap out

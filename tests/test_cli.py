@@ -180,3 +180,45 @@ def test_storage_report(capsys):
     out = capsys.readouterr().out
     assert "fusion_predictor" in out
     assert "grand total" in out
+
+
+def test_simulate_sampled_tiny_trace_reports_exact(capsys):
+    # Natural dijkstra is too short for the default 32-strata plan:
+    # the sampler must fall back to full detail and say so.
+    assert main(["simulate", "dijkstra", "--sample"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled estimate" in out
+    assert "full detail (exact" in out
+
+
+def test_simulate_sampled_explicit_windows(capsys):
+    assert main(["simulate", "dijkstra", "--sample", "6",
+                 "--mode", "Helios"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled estimate: dijkstra, Helios" in out
+    assert "95% CI" in out
+
+
+def test_simulate_segments_splices(capsys):
+    assert main(["simulate", "dijkstra", "--segments", "2",
+                 "--mode", "Helios"]) == 0
+    out = capsys.readouterr().out
+    assert "spliced from 2 segment(s)" in out
+    assert "bit-exact" in out
+
+
+def test_simulate_sample_and_segments_conflict():
+    with pytest.raises(SystemExit, match="alternative strategies"):
+        main(["simulate", "dijkstra", "--sample", "--segments", "2"])
+
+
+def test_simulate_sample_needs_two_strata():
+    with pytest.raises(SystemExit, match="at least 2 strata"):
+        main(["simulate", "dijkstra", "--sample", "1"])
+
+
+def test_simulate_max_uops_caps_trace(capsys):
+    assert main(["simulate", "bitcount", "--mode", "NoFusion",
+                 "--max-uops", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "5000 instructions" in out or "IPC" in out

@@ -324,3 +324,60 @@ def test_window_greedy_no_overlap():
     """)
     pairs = ConsecutiveFusionWindow().find_pairs(list(trace))
     assert len(pairs) == 1  # greedy: (ld0, ld1); ld2 left unfused
+
+
+# ---------------------------------------------- fast scan == reference --
+
+# The shipping oracle scan is a flattened, taint-bookkeeping
+# reformulation of ``oracle_memory_pairs_reference``; the contract is
+# byte-identical output (pairs, in order, with identical census
+# accounting) for every catalog trace and every flag shape.
+
+_FLAG_SHAPES = [
+    {},
+    {"consecutive_only": True},
+    {"require_same_base": True},
+    {"require_contiguous": True},
+    {"allow_asymmetric": False},
+    {"stores_sbr_only": False},
+    {"max_distance": 4},
+    {"granularity": 16, "require_same_base": True,
+     "require_contiguous": True, "allow_asymmetric": False},
+]
+
+
+def _pair_key(p):
+    return (p.head_seq, p.tail_seq, p.idiom, p.contiguity,
+            p.base_kind, p.symmetric)
+
+
+def test_fast_oracle_matches_reference_all_catalog_workloads():
+    from repro.fusion.oracle import oracle_memory_pairs_reference
+    from repro.workloads import build_workload, workload_names
+
+    for name in workload_names():
+        trace = build_workload(name)
+        ref_census, fast_census = {}, {}
+        ref = oracle_memory_pairs_reference(trace,
+                                            reason_counts=ref_census)
+        fast = oracle_memory_pairs(trace, reason_counts=fast_census)
+        assert [_pair_key(p) for p in fast] \
+            == [_pair_key(p) for p in ref], name
+        assert fast_census == ref_census, name
+
+
+def test_fast_oracle_matches_reference_every_flag_shape():
+    from repro.fusion.oracle import oracle_memory_pairs_reference
+    from repro.workloads import build_workload
+
+    for name in ("605.mcf", "657.xz_2", "rijndael"):
+        trace = build_workload(name)
+        for flags in _FLAG_SHAPES:
+            ref_census, fast_census = {}, {}
+            ref = oracle_memory_pairs_reference(
+                trace, reason_counts=ref_census, **flags)
+            fast = oracle_memory_pairs(
+                trace, reason_counts=fast_census, **flags)
+            assert [_pair_key(p) for p in fast] \
+                == [_pair_key(p) for p in ref], (name, flags)
+            assert fast_census == ref_census, (name, flags)

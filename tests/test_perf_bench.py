@@ -1,0 +1,102 @@
+"""Bench-payload comparison: schema migration must never crash.
+
+``compare_with_previous`` runs against whatever ``BENCH_pipeline.json``
+is committed — which may predate the ``sampled``, ``observability``, or
+even ``throughput`` sections, or carry them as ``null``.  Every shape
+an older harness ever wrote must degrade to "not comparable", not an
+exception.
+"""
+
+from repro.perf import compare_with_previous, measure_sampled  # noqa: F401
+from repro.perf.harness import _compare_sampled
+
+
+def _payload(sampled=None):
+    return {
+        "schema": 1,
+        "timestamp": "2026-08-08T00:00:00Z",
+        "workloads": {
+            "dijkstra": {
+                "uops": 21613,
+                "modes": {"Helios": {"run_s": 0.5, "ipc": 3.7,
+                                     "cycles": 5841}},
+            },
+        },
+        "throughput": {"aggregate_uops_per_s": 43000},
+        "observability": {},
+        "sampled": sampled,
+    }
+
+
+def test_no_previous_payload():
+    payload = _payload()
+    compare_with_previous(payload, None)
+    assert payload["vs_previous"] is None
+
+
+def test_previous_not_a_dict_is_ignored():
+    payload = _payload()
+    compare_with_previous(payload, ["corrupted"])
+    assert payload["vs_previous"] is None
+
+
+def test_previous_lacking_sampled_and_observability_sections():
+    # A pre-sampling-era payload: no sampled, no observability, and a
+    # null throughput block.
+    old = {
+        "timestamp": "2025-01-01T00:00:00Z",
+        "workloads": {
+            "dijkstra": {
+                "uops": 21613,
+                "modes": {"Helios": {"run_s": 0.8, "cycles": 5841}},
+            },
+        },
+        "throughput": None,
+    }
+    payload = _payload(sampled={"rows": {
+        "dijkstra": {"speedup": 6.0, "within_bound": True}}})
+    compare_with_previous(payload, old)
+    delta = payload["vs_previous"]
+    assert delta["cycles_identical"]
+    assert delta["cells_compared"] == 1
+    # Aggregate reconstructed from per-cell timings of the old schema.
+    assert delta["previous_aggregate_uops_per_s"] == round(21613 / 0.8)
+    assert delta["sampled"] == {"previous_had_sampled": False,
+                                "speedup_ratio": None}
+
+
+def test_previous_with_null_sections_everywhere():
+    old = {"workloads": None, "throughput": None, "sampled": None,
+           "observability": None}
+    payload = _payload()
+    compare_with_previous(payload, old)
+    delta = payload["vs_previous"]
+    assert delta["cells_compared"] == 0
+    assert delta["cycles_identical"]
+    assert delta["sampled"] is None  # this run had no sampled section
+
+
+def test_previous_row_missing_modes():
+    old = {"workloads": {"dijkstra": {"uops": 21613, "modes": None}}}
+    payload = _payload()
+    compare_with_previous(payload, old)
+    assert payload["vs_previous"]["cells_compared"] == 0
+
+
+def test_cycle_mismatch_detected_across_schemas():
+    old = _payload()
+    old["workloads"]["dijkstra"]["modes"]["Helios"]["cycles"] = 6000
+    payload = _payload()
+    compare_with_previous(payload, old)
+    delta = payload["vs_previous"]
+    assert not delta["cycles_identical"]
+    assert "dijkstra/Helios" in delta["cycle_mismatches"][0]
+
+
+def test_sampled_speedup_ratio_when_both_have_sections():
+    old = _payload(sampled={"rows": {"dijkstra": {"speedup": 3.0}}})
+    new = _payload(sampled={"rows": {"dijkstra": {"speedup": 6.0}}})
+    assert _compare_sampled(new, old) == {
+        "previous_had_sampled": True,
+        "speedup_ratio": {"dijkstra": 2.0},
+    }

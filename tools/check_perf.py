@@ -20,6 +20,19 @@ Two checks, both against the payload the bench just wrote:
   delta under ``vs_previous``), any moved ``cycles`` cell fails the
   gate.  Throughput wins that change timing are timing changes and
   must arrive via an explicit golden-file update instead.
+
+A third, conditional check covers sampled simulation.  When the
+payload has a ``sampled`` section (``repro bench --sample``):
+
+* every workload's sampled speedup must reach the floor
+  (``$REPRO_SAMPLED_SPEEDUP_FLOOR``, default 3x — the quick CI gate;
+  full-length traces clear 5x comfortably), and
+* every IPC estimate must land within its own reported
+  95 %-confidence error bound (``within_bound``).
+
+Payloads *without* a ``sampled`` section — every bench run before the
+sampling subsystem existed, or any run without ``--sample`` — pass
+this check vacuously.
 """
 
 from __future__ import annotations
@@ -29,6 +42,50 @@ import os
 import sys
 
 DEFAULT_FLOOR = 10_000  # µops/s; override with REPRO_PERF_FLOOR
+
+#: Minimum sampled-vs-full-detail speedup per workload; override with
+#: REPRO_SAMPLED_SPEEDUP_FLOOR.  Quick-mode scaled traces (500k µ-ops)
+#: clear ~6-7x on a developer machine; 3x keeps headroom for slow CI
+#: runners while still catching a sampler that stopped skipping work.
+DEFAULT_SAMPLED_SPEEDUP_FLOOR = 3.0
+
+
+def check_sampled(payload, floor) -> bool:
+    """Gate the ``sampled`` section; returns True on failure.
+
+    Absent section (pre-sampling payload or a run without ``--sample``)
+    passes: the gate only judges measurements that were actually taken.
+    """
+    sampled = payload.get("sampled") or {}
+    rows = sampled.get("rows") or {}
+    if not rows:
+        print("check_perf: no sampled section (run with --sample to "
+              "gate sampled simulation)")
+        return False
+    failed = False
+    for name, row in rows.items():
+        speedup = row.get("speedup")
+        exact = row.get("exact")
+        within = row.get("within_bound", False)
+        err = 100 * row.get("ipc_err_vs_full", 0.0)
+        bound = 100 * row.get("ipc_rel_err_bound", 0.0)
+        print("check_perf: sampled %-12s %5.1fx  err %+.2f%% "
+              "(bound ±%.2f%%)%s"
+              % (name, speedup or 0.0, err, bound,
+                 "  [exact fallback]" if exact else ""))
+        if exact:
+            # Degenerate tiny-trace fallback: exact numbers, no
+            # speedup expectation.
+            continue
+        if speedup is None or speedup < floor:
+            print("check_perf: FAIL — %s sampled speedup below %.1fx"
+                  % (name, floor))
+            failed = True
+        if not within:
+            print("check_perf: FAIL — %s IPC estimate outside its "
+                  "reported confidence bound" % name)
+            failed = True
+    return failed
 
 
 def main(argv=None) -> int:
@@ -76,6 +133,10 @@ def main(argv=None) -> int:
                   % speedup)
     else:
         print("check_perf: no previous bench to compare against")
+
+    sampled_floor = float(os.environ.get("REPRO_SAMPLED_SPEEDUP_FLOOR",
+                                         DEFAULT_SAMPLED_SPEEDUP_FLOOR))
+    failed = check_sampled(payload, sampled_floor) or failed
 
     return 1 if failed else 0
 
