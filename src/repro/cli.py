@@ -6,6 +6,9 @@
     python -m repro simulate dijkstra         # all six configurations
     python -m repro simulate 657.xz_1 --mode Helios --fp-kind tage
     python -m repro experiment fig10 --workloads 657.xz_1,605.mcf --jobs 4
+    python -m repro experiment fig9 --jobs 8 --job-timeout 120 \\
+        --report-json sweep.json              # fault-tolerant sweep
+    python -m repro sweep-report sweep.json   # render execution report
     python -m repro cache                     # inspect the result cache
     python -m repro cache clear               # drop every cached result
     python -m repro trace                     # inspect the trace store
@@ -29,8 +32,9 @@ from repro.config import DEFAULT_MAX_UOPS, FusionMode, ProcessorConfig
 from repro.core.simulator import ipc_uplift, simulate, simulate_modes
 from repro.core.storage import helios_storage_budget
 from repro.experiments import (
-    ResultCache, cpi_accounting, figure2, figure3, figure4, figure5,
-    figure8, figure9, figure10, legality_census, run_suite,
+    ResultCache, SweepJobError, SweepReport, cpi_accounting,
+    figure2, figure3, figure4, figure5, figure8, figure9, figure10,
+    last_sweep_report, legality_census, run_suite,
     table1, table2, table3,
 )
 from repro.sampling import DEFAULT_WINDOWS as _SAMPLE_DEFAULT_WINDOWS
@@ -157,7 +161,8 @@ def _simulate_segmented(args, config: ProcessorConfig) -> int:
     result = get_segmented_result(
         args.workload, mode, args.segments, warmup=args.warmup,
         config=config, jobs=args.jobs, max_uops=args.max_uops,
-        scale_to=args.scale_to)
+        scale_to=args.scale_to, job_timeout=args.job_timeout,
+        retries=args.retries)
     print(result.summary())
     warm = ("full-prefix (bit-exact splice)" if args.warmup is None
             else "bounded %d µ-ops (approximate splice)" % args.warmup)
@@ -225,11 +230,48 @@ def _cmd_experiment(args) -> int:
     if modes:
         # Warm the (memo + disk) cache in parallel; the generator below
         # then assembles its rows entirely from cache hits.
-        run_suite(modes, workloads=workloads, config=config,
-                  jobs=args.jobs, cache_dir=args.cache_dir,
-                  use_cache=False if args.no_cache else None)
+        try:
+            run_suite(modes, workloads=workloads, config=config,
+                      jobs=args.jobs, cache_dir=args.cache_dir,
+                      use_cache=False if args.no_cache else None,
+                      job_timeout=args.job_timeout, retries=args.retries)
+        except SweepJobError as exc:
+            _write_report_json(args.report_json)
+            print("sweep failed: %s" % exc, file=sys.stderr)
+            return 1
+        _write_report_json(args.report_json)
     print(runner(workloads, config=config).render())
     return 0
+
+
+def _write_report_json(path: Optional[str]) -> None:
+    """Persist the last sweep's execution report (``--report-json``)."""
+    if not path:
+        return
+    import json
+
+    report = last_sweep_report()
+    if report is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+    print("wrote sweep execution report to %s" % path)
+
+
+def _cmd_sweep_report(args) -> int:
+    """Render a persisted sweep execution report."""
+    import json
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        report = SweepReport.from_dict(data)
+    except OSError as exc:
+        raise SystemExit("cannot read %s: %s" % (args.file, exc))
+    except ValueError as exc:
+        raise SystemExit("invalid sweep report %s: %s" % (args.file, exc))
+    print(report.render())
+    return 1 if report.failed_jobs else 0
 
 
 def _cmd_cache(args) -> int:
@@ -243,6 +285,11 @@ def _cmd_cache(args) -> int:
     print("cache directory: %s" % cache.root)
     print("entries: %d (%.1f KiB)"
           % (len(entries), cache.size_bytes() / 1024.0))
+    orphans, quarantined = cache.orphan_tmps(), cache.quarantined()
+    if orphans or quarantined:
+        print("orphaned tmp files: %d, quarantined corrupt entries: %d "
+              "(`repro cache clear` reclaims both)"
+              % (len(orphans), len(quarantined)))
     for entry in entries:
         print("  %-20s %-14s %7d B  %s"
               % (entry["workload"], entry["mode"], entry["bytes"],
@@ -274,6 +321,11 @@ def _cmd_trace(args) -> int:
     print("trace store: %s" % store.root)
     print("entries: %d (%.1f KiB)"
           % (len(entries), store.size_bytes() / 1024.0))
+    orphans, quarantined = store.orphan_tmps(), store.quarantined()
+    if orphans or quarantined:
+        print("orphaned tmp files: %d, quarantined corrupt entries: %d "
+              "(`repro trace clear` reclaims both)"
+              % (len(orphans), len(quarantined)))
     for entry in entries:
         print("  %-20s %8s µ-ops %9d B  %s"
               % (entry["name"], entry["uops"], entry["bytes"],
@@ -503,6 +555,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="worker processes for --segments "
                           "(default: $REPRO_JOBS or 1)")
+    sim.add_argument("--job-timeout", type=float, default=None,
+                     metavar="S",
+                     help="per-segment deadline in seconds for "
+                          "--segments; a hung worker is killed and the "
+                          "segment retried (default: $REPRO_JOB_TIMEOUT "
+                          "or off)")
+    sim.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry budget per segment for --segments "
+                          "(default: $REPRO_JOB_RETRIES or 2)")
     sim.set_defaults(func=_cmd_simulate)
 
     exp = sub.add_parser("experiment",
@@ -521,7 +582,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     exp.add_argument("--no-cache", action="store_true",
                      help="skip the persistent result cache entirely")
+    exp.add_argument("--job-timeout", type=float, default=None,
+                     metavar="S",
+                     help="per-job deadline in seconds; a hung worker "
+                          "is killed and the job retried (default: "
+                          "$REPRO_JOB_TIMEOUT or off — off keeps "
+                          "existing flows bit-exact)")
+    exp.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry budget per failed job, with capped "
+                          "deterministic exponential backoff (default: "
+                          "$REPRO_JOB_RETRIES or 2)")
+    exp.add_argument("--report-json", metavar="FILE",
+                     help="write the sweep execution report (per-job "
+                          "attempts, durations, failure classes) here — "
+                          "written on failure too")
     exp.set_defaults(func=_cmd_experiment)
+
+    swrep = sub.add_parser(
+        "sweep-report",
+        help="render a sweep execution report written by "
+             "`experiment --report-json`")
+    swrep.add_argument("file", help="report JSON file to render")
+    swrep.set_defaults(func=_cmd_sweep_report)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")

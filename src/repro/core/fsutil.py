@@ -1,0 +1,158 @@
+"""Concurrency-safe filesystem helpers shared by the on-disk stores.
+
+The persistent result cache (:mod:`repro.experiments.cache`) and trace
+store (:mod:`repro.workloads.trace_store`) are written to by many
+worker processes at once, and the fault-tolerant scheduler makes
+abrupt worker death (SIGKILL mid-``put``) an expected event rather
+than a catastrophe.  Both stores therefore share the same discipline,
+implemented here:
+
+* **Quarantine, never blind-unlink.**  Deleting a "corrupt" entry by
+  path races with a concurrent ``put()`` that just ``os.replace``\\ d a
+  fresh valid file over it — the unlink would destroy the *new* entry.
+  :func:`quarantine_if_unchanged` re-checks the file's identity (device
+  + inode + size + mtime) against what the reader actually opened and
+  only then moves it aside as ``<name>.corrupt``, preserving the
+  evidence instead of destroying data.
+* **Orphan ``*.tmp`` sweeping.**  ``mkstemp`` temporaries survive a
+  SIGKILL mid-``put`` and match none of the store globs, so they used
+  to accumulate forever.  :func:`sweep_stale_tmps` reclaims them,
+  age-gated so an in-flight ``put`` from a live sibling process is
+  never swept.
+* **Degrade, don't abort.**  A full disk or read-only cache directory
+  must cost persistence, not the run; :func:`warn_store_degraded`
+  emits the one-time warning when a store switches itself off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from pathlib import Path
+from typing import List, Optional
+
+#: Suffix quarantined (confirmed-corrupt) entries are renamed to.
+#: ``x.json`` becomes ``x.json.corrupt`` — matched by none of the
+#: store globs, so a quarantined entry is out of the namespace but
+#: still on disk for post-mortems until ``clear()`` removes it.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: A ``*.tmp`` older than this is an orphan (no ``put`` runs for an
+#: hour); younger temporaries may belong to a live writer.
+TMP_SWEEP_AGE_S = 3600.0
+
+
+def stat_or_none(path: Path) -> Optional[os.stat_result]:
+    """``path.stat()``, or ``None`` if it vanished / is unreachable."""
+    try:
+        return os.stat(str(path))
+    except OSError:
+        return None
+
+
+def same_identity(a: os.stat_result, b: os.stat_result) -> bool:
+    """Whether two stat results name the same file *contents*.
+
+    Device + inode pin the physical file; size + mtime (ns) catch an
+    in-place rewrite that recycled the inode.
+    """
+    return (a.st_dev == b.st_dev and a.st_ino == b.st_ino
+            and a.st_size == b.st_size
+            and a.st_mtime_ns == b.st_mtime_ns)
+
+
+def quarantine_if_unchanged(path: Path,
+                            seen: Optional[os.stat_result]) -> bool:
+    """Move ``path`` aside as corrupt — only if it is still the file
+    the reader actually saw.
+
+    ``seen`` is the stat of the file whose *contents* failed to parse
+    (``None`` skips: nothing was identified, nothing may be removed).
+    If a concurrent ``put()`` has since ``os.replace``\\ d a fresh entry
+    over the path, the identity check fails and the new entry is left
+    untouched — fixing the unlink-the-wrong-file TOCTOU.  Returns
+    whether the file was quarantined.
+    """
+    if seen is None:
+        return False
+    current = stat_or_none(path)
+    if current is None or not same_identity(current, seen):
+        return False  # a writer replaced it: that entry is not corrupt
+    try:
+        os.replace(str(path), str(path) + QUARANTINE_SUFFIX)
+        return True
+    except OSError:
+        return False
+
+
+def quarantined_files(root: Path) -> List[Path]:
+    """Every quarantined entry under ``root``, sorted."""
+    try:
+        return sorted(root.glob("*" + QUARANTINE_SUFFIX))
+    except OSError:
+        return []
+
+
+def tmp_files(root: Path) -> List[Path]:
+    """Every ``mkstemp`` temporary under ``root``, sorted."""
+    try:
+        return sorted(root.glob("*.tmp"))
+    except OSError:
+        return []
+
+
+def sweep_stale_tmps(root: Path,
+                     max_age_s: float = TMP_SWEEP_AGE_S) -> int:
+    """Delete orphaned ``*.tmp`` files older than ``max_age_s``.
+
+    Run at store init: a temporary that old lost its writer (SIGKILL
+    mid-``put``) and would otherwise leak forever.  Young temporaries
+    are left alone — they may belong to an in-flight ``put`` in a
+    sibling process.  Returns how many were reclaimed.
+    """
+    removed = 0
+    now = time.time()
+    for path in tmp_files(root):
+        st = stat_or_none(path)
+        if st is None or now - st.st_mtime <= max_age_s:
+            continue
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass  # already gone, or unwritable dir: nothing to leak then
+    return removed
+
+
+def sum_file_sizes(paths) -> int:
+    """Total size of ``paths``, skipping files deleted concurrently."""
+    total = 0
+    for path in paths:
+        st = stat_or_none(path)
+        if st is not None:
+            total += st.st_size
+    return total
+
+
+def unlink_quiet(path) -> bool:
+    """``unlink`` swallowing OSError; returns whether it removed."""
+    try:
+        os.unlink(str(path))
+        return True
+    except OSError:
+        return False
+
+
+def warn_store_degraded(store: str, root: Path,
+                        exc: BaseException) -> None:
+    """One-time 'store switched itself off' warning.
+
+    Emitted when a write fails for environmental reasons (ENOSPC,
+    read-only directory, permissions): the run continues uncached
+    instead of aborting, but the operator should hear about it once.
+    """
+    warnings.warn(
+        "%s degraded to uncached mode after a write failure in %s: %s "
+        "— simulations continue, results are not persisted"
+        % (store, root, exc), RuntimeWarning, stacklevel=4)

@@ -3,6 +3,8 @@ paper's evaluation (see DESIGN.md §5 for the experiment index).
 
 * :mod:`repro.experiments.engine` — parallel sweep engine
   (``multiprocessing`` fan-out over (workload, config) jobs).
+* :mod:`repro.experiments.faults` — fault-tolerant job scheduler
+  (timeouts, retries, lost-worker recovery) and fault injection.
 * :mod:`repro.experiments.cache` — persistent on-disk result cache
   keyed by workload + configuration fingerprint.
 * :mod:`repro.experiments.runner` — cached (workload x configuration)
@@ -14,6 +16,13 @@ paper's evaluation (see DESIGN.md §5 for the experiment index).
 from repro.experiments.analysis_suite import legality_census
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.engine import SweepEngine, SweepJobError
+from repro.experiments.faults import (
+    FaultPlan,
+    JobFailure,
+    SweepReport,
+    parse_fault_spec,
+    run_jobs,
+)
 from repro.experiments.figures import (
     cpi_accounting,
     figure2,
@@ -28,16 +37,20 @@ from repro.experiments.runner import (
     clear_cache,
     get_result,
     get_segmented_result,
+    last_sweep_report,
     run_suite,
 )
 from repro.experiments.tables import table1, table2, table3
 
 __all__ = [
     "ResultCache", "SweepEngine", "SweepJobError", "default_cache_dir",
+    "FaultPlan", "JobFailure", "SweepReport",
+    "parse_fault_spec", "run_jobs",
     "cpi_accounting",
     "figure2", "figure3", "figure4", "figure5",
     "figure8", "figure9", "figure10",
-    "clear_cache", "get_result", "get_segmented_result", "run_suite",
+    "clear_cache", "get_result", "get_segmented_result",
+    "last_sweep_report", "run_suite",
     "legality_census",
     "table1", "table2", "table3",
 ]

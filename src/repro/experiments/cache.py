@@ -8,8 +8,15 @@ process, or another run entirely — are served from disk instead of
 re-simulating, which is what lets the figure/table generators and the
 benchmark suite share their heavily-overlapping sweeps.
 
-The cache is safe to delete at any time (``repro cache clear``), and a
-corrupted or truncated entry is treated as a miss and removed.
+The cache is safe to delete at any time (``repro cache clear``), and it
+is safe under *concurrent* readers and writers (the parallel sweep's
+worker processes): a corrupted or truncated entry is treated as a miss
+and quarantined — never blindly unlinked, which could race a
+concurrent ``put()`` and destroy a fresh valid entry — orphaned
+``*.tmp`` files from killed writers are swept age-gated at init, and a
+full or read-only cache directory degrades the cache to uncached mode
+with a one-time warning instead of aborting the run (see
+:mod:`repro.core.fsutil`).
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.config import ProcessorConfig
+from repro.core import fsutil
 from repro.core.results import SimResult
 
 #: Bump whenever the on-disk layout or the meaning of any persisted
@@ -69,6 +77,12 @@ class ResultCache:
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Flipped by the first environmental write failure (ENOSPC,
+        #: read-only dir, permissions): later ``put`` calls become
+        #: no-ops instead of re-raising on every job of a sweep.
+        self.degraded = False
+        # Reclaim temporaries orphaned by writers killed mid-put.
+        fsutil.sweep_stale_tmps(self.root)
 
     def path_for(self, key: str) -> Path:
         return self.root / (key + ".json")
@@ -79,26 +93,39 @@ class ResultCache:
             config: ProcessorConfig) -> Optional[SimResult]:
         """The cached result, or ``None`` on miss / corruption."""
         path = self.path_for(cache_key(workload, config))
+        seen = None
         try:
             with open(path, "r", encoding="utf-8") as handle:
+                # Pin the identity of the file we actually read, so a
+                # corrupt parse quarantines *this* file and never one a
+                # concurrent put() replaced it with.
+                seen = os.fstat(handle.fileno())
                 data = json.load(handle)
             if data.get("schema") != CACHE_SCHEMA_VERSION:
                 return None
             return SimResult.from_dict(data["result"])
         except FileNotFoundError:
             return None
-        except (ValueError, KeyError, TypeError, OSError):
-            # Corrupted / truncated / foreign file: drop it and miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (ValueError, KeyError, TypeError):
+            # Corrupted / truncated / foreign file: quarantine it (if
+            # still the same file) and miss.
+            fsutil.quarantine_if_unchanged(path, seen)
+            return None
+        except OSError:
+            # Environmental read failure: miss without condemning the
+            # entry — it may be perfectly valid.
             return None
 
     def put(self, workload: str, config: ProcessorConfig,
             result: SimResult) -> None:
-        """Atomically persist one result (tmp file + rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Atomically persist one result (tmp file + rename).
+
+        An environmental failure (disk full, read-only or unwritable
+        cache directory) degrades the cache to uncached mode with a
+        one-time warning instead of aborting the sweep.
+        """
+        if self.degraded:
+            return
         path = self.path_for(cache_key(workload, config))
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -107,31 +134,53 @@ class ResultCache:
             "fingerprint": config.fingerprint(),
             "result": result.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        except OSError as exc:
+            self._degrade(exc)
+            return
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
             os.replace(tmp, str(path))
+        except OSError as exc:
+            fsutil.unlink_quiet(tmp)
+            self._degrade(exc)
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # Programming errors (unserializable payload, interrupts)
+            # still propagate — only *environmental* failures degrade.
+            fsutil.unlink_quiet(tmp)
             raise
+
+    def _degrade(self, exc: BaseException) -> None:
+        if not self.degraded:
+            self.degraded = True
+            fsutil.warn_store_degraded("result cache", self.root, exc)
 
     # ---------------------------------------------------------- inspection --
 
     def entries(self) -> List[Dict]:
-        """Metadata of every readable entry (for ``repro cache``)."""
+        """Metadata of every readable entry (for ``repro cache``).
+
+        Robust against concurrent mutation: a file deleted by another
+        process between the directory listing and the ``stat``/read is
+        skipped, not a crash.
+        """
         found = []
         for path in sorted(self.root.glob("*.json")):
-            info = {"file": path.name, "bytes": path.stat().st_size}
+            st = fsutil.stat_or_none(path)
+            if st is None:
+                continue  # deleted by a concurrent clear()/put()
+            info = {"file": path.name, "bytes": st.st_size}
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     data = json.load(handle)
                 info["workload"] = data.get("workload", "?")
                 info["mode"] = data.get("mode", "?")
                 info["schema"] = data.get("schema", "?")
+            except FileNotFoundError:
+                continue  # vanished between stat and open
             except (ValueError, OSError):
                 info["workload"] = info["mode"] = "?"
                 info["schema"] = "corrupt"
@@ -139,15 +188,22 @@ class ResultCache:
         return found
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.root.glob("*.json"))
+        return fsutil.sum_file_sizes(self.root.glob("*.json"))
+
+    def orphan_tmps(self) -> List[Path]:
+        """Leftover ``mkstemp`` files from writers that died mid-put."""
+        return fsutil.tmp_files(self.root)
+
+    def quarantined(self) -> List[Path]:
+        """Entries moved aside as corrupt (``*.corrupt``)."""
+        return fsutil.quarantined_files(self.root)
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry — including orphaned temporaries and
+        quarantined corrupt files; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.tmp", "*" + fsutil.QUARANTINE_SUFFIX):
+            for path in self.root.glob(pattern):
+                if fsutil.unlink_quiet(path):
+                    removed += 1
         return removed

@@ -4,11 +4,14 @@ jobs across worker processes, backed by the persistent result cache.
 The simulations are embarrassingly parallel — each (workload, mode,
 config) job replays its workload's captured trace through an
 independent :class:`~repro.pipeline.core.PipelineCore` — so the engine
-simply partitions the missing jobs over a ``multiprocessing`` pool.
-With ``jobs=1`` (the default) everything runs sequentially in-process,
+partitions the missing jobs over the fault-tolerant process-per-job
+scheduler in :mod:`repro.experiments.faults`: per-job deadlines, lost
+-worker recovery, deterministic retry/backoff, and degradation to
+in-process serial execution for jobs that fail the pool twice.  With
+``jobs=1`` (the default) everything runs sequentially in-process,
 which keeps tier-1 tests and determinism untouched; a ``jobs=N`` sweep
 produces bit-identical results because every job is self-contained and
-the pool map preserves job order.
+outcomes are collected in job order.
 
 Capture-once/replay-many (the paper's Spike methodology): before any
 workers start, the engine loads each distinct workload trace exactly
@@ -25,7 +28,6 @@ custom-config sweeps are cached exactly like default-config ones.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -36,6 +38,16 @@ from repro.experiments.cache import (
     ResultCache,
     cache_enabled_by_default,
     cache_key,
+)
+from repro.experiments.faults import (
+    JobFailure,
+    SweepReport,
+    as_failure,
+    default_backoff_base,
+    default_job_retries,
+    default_job_timeout,
+    maybe_inject_fault,
+    run_jobs,
 )
 from repro.fusion.oracle import cached_oracle_pairs
 from repro.workloads import build_workload, ensure_known, workload_names
@@ -73,16 +85,22 @@ def default_jobs() -> int:
 
 
 class SweepJobError(RuntimeError):
-    """One or more sweep jobs crashed.
+    """One or more sweep jobs failed beyond their retry budget.
 
     The sibling jobs' results were still stored in the memo/disk cache
     before this was raised, so a re-run only re-simulates the failing
     (workload, mode) pairs.  ``failures`` lists them as
-    ``(workload, mode_value, error_message)`` triples.
+    ``(workload, mode_value, detail)`` triples where ``detail`` carries
+    the worker-side traceback (sanely truncated); ``report`` — when the
+    sweep went through the fault-tolerant scheduler — is the full
+    :class:`~repro.experiments.faults.SweepReport` with every attempt's
+    class, duration and backoff.
     """
 
-    def __init__(self, failures: List[Tuple[str, str, str]]):
+    def __init__(self, failures: List[Tuple[str, str, str]],
+                 report: Optional[SweepReport] = None):
         self.failures = list(failures)
+        self.report = report
         detail = "; ".join("(%s, %s): %s" % f for f in self.failures)
         super().__init__(
             "%d sweep job(s) failed — completed siblings were cached — %s"
@@ -114,53 +132,84 @@ def _resolve_segment_trace(spec: Tuple[str, str, Optional[int]]):
     return build_workload(name)
 
 
-def _execute_segment_job(job) -> Tuple[bool, object]:
+def _execute_segment_job(job, fault_token: Optional[str] = None
+                         ) -> Tuple[bool, object]:
     """Worker entry point: one exact segment of a longer trace.
 
     Returns ``(True, delta_dict)`` — the plain picklable counter deltas
     :func:`repro.sampling.segment.simulate_segment` produces — or
-    ``(False, "ExcType: message")``.  The worker renumbers its own
-    sub-trace locally; only the small delta dict crosses the process
-    boundary.
+    ``(False, JobFailure)`` carrying the worker-side traceback.  The
+    worker renumbers its own sub-trace locally; only the small delta
+    dict crosses the process boundary.
     """
-    spec, config, sub_start, sub_stop, measure_from, measure_to = job
     try:
+        maybe_inject_fault(fault_token)
+        spec, config, sub_start, sub_stop, measure_from, measure_to = job
         from repro.sampling.segment import simulate_segment
         trace = _resolve_segment_trace(spec)
         sub = trace.segment(sub_start, sub_stop)
         return True, simulate_segment(sub, config, measure_from, measure_to)
     except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
-        return False, "%s: %s" % (type(exc).__name__, exc)
+        return False, JobFailure.from_exception(exc)
 
 
-def _execute_job_guarded(job: Tuple[str, ProcessorConfig]
+def _execute_job_guarded(job: Tuple[str, ProcessorConfig],
+                         fault_token: Optional[str] = None
                          ) -> Tuple[bool, object]:
     """Worker entry point that never raises.
 
-    Returns ``(True, result)`` or ``(False, "ExcType: message")`` so a
-    crashing job cannot abort the pool map and discard every completed
-    sibling (exceptions are stringified: not every exception object
-    survives pickling back from a worker).
+    Returns ``(True, result)`` or ``(False, JobFailure)`` so a
+    crashing job cannot abort the sweep and discard every completed
+    sibling.  The failure payload is a picklable
+    :class:`~repro.experiments.faults.JobFailure` — not every
+    exception object survives pickling back from a worker — and it
+    ships ``traceback.format_exc()`` so worker failures stay
+    debuggable from the supervisor.
     """
     try:
+        maybe_inject_fault(fault_token)
         return True, _execute_job(job)
     except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
-        return False, "%s: %s" % (type(exc).__name__, exc)
+        return False, JobFailure.from_exception(exc)
 
 
 class SweepEngine:
-    """Runs (workload, mode) sweeps through memo + disk cache + pool."""
+    """Runs (workload, mode) sweeps through memo + disk cache + the
+    fault-tolerant worker scheduler (see :mod:`repro.experiments.faults`).
+
+    ``job_timeout`` (seconds, default ``$REPRO_JOB_TIMEOUT`` else off)
+    kills and retries jobs that hang past the deadline; ``retries``
+    (default ``$REPRO_JOB_RETRIES`` else 2) re-attempts failed jobs
+    with deterministic exponential backoff (base ``backoff_base``,
+    default ``$REPRO_JOB_BACKOFF`` else 0.25 s); a job that failed the
+    pool twice degrades to in-process serial execution.  After any
+    ``sweep``/``segmented`` execution, ``last_report`` holds the
+    :class:`~repro.experiments.faults.SweepReport` accounting for
+    every attempt.
+    """
 
     def __init__(self,
                  jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  use_cache: Optional[bool] = None,
-                 memo: Optional[Dict[str, SimResult]] = None):
+                 memo: Optional[Dict[str, SimResult]] = None,
+                 job_timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 backoff_base: Optional[float] = None):
         self.jobs = jobs if jobs is not None else default_jobs()
         self.cache = cache if cache is not None else ResultCache()
         self.use_cache = (use_cache if use_cache is not None
                           else cache_enabled_by_default())
         self.memo = memo if memo is not None else {}
+        self.job_timeout = (job_timeout if job_timeout is not None
+                            else default_job_timeout())
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            self.job_timeout = None  # 0 is documented shorthand for off
+        self.retries = retries if retries is not None else \
+            default_job_retries()
+        self.backoff_base = (backoff_base if backoff_base is not None
+                             else default_backoff_base())
+        self.last_report: Optional[SweepReport] = None
 
     # -------------------------------------------------------------- lookup --
 
@@ -206,23 +255,25 @@ class SweepEngine:
 
     def _execute(self, jobs: List[Tuple[str, ProcessorConfig]]
                  ) -> List[Tuple[bool, object]]:
-        """Run every job, isolating failures.
+        """Run every job through the fault-tolerant scheduler.
 
-        Returns one ``(ok, result_or_error)`` pair per job, in job
-        order — a crashing job reports ``(False, message)`` instead of
-        aborting the map and discarding its completed siblings.
+        Returns one ``(ok, result_or_failure)`` pair per job, in job
+        order — a crashing, hung, or killed job reports
+        ``(False, JobFailure)`` instead of aborting the run and
+        discarding its completed siblings.  The per-attempt account is
+        left in ``self.last_report``.
         """
         workers = min(self.jobs, len(jobs))
-        if workers <= 1:
-            return [_execute_job_guarded(job) for job in jobs]
-        self._preload(jobs)
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None)
-        with ctx.Pool(processes=workers) as pool:
-            # chunksize=1: jobs are coarse (whole simulations) and
-            # uneven, so per-job dispatch load-balances best.
-            return pool.map(_execute_job_guarded, jobs, chunksize=1)
+        if workers > 1:
+            self._preload(jobs)
+        labels = [(name, config.fusion_mode.value)
+                  for name, config in jobs]
+        outcomes, report = run_jobs(
+            jobs, _execute_job_guarded, labels, workers=workers,
+            timeout=self.job_timeout, retries=self.retries,
+            backoff_base=self.backoff_base)
+        self.last_report = report
+        return outcomes
 
     # ------------------------------------------------------------- segments --
 
@@ -237,7 +288,8 @@ class SweepEngine:
         The trace is cut into ``segments`` contiguous measurement
         regions (:func:`repro.sampling.segment.plan_segments`); each
         region is simulated as an independent job — serially when the
-        engine has one worker, over the multiprocessing pool otherwise
+        engine has one worker, over the fault-tolerant worker
+        scheduler otherwise
         — and the per-segment counter deltas are spliced back into one
         :class:`SimResult`.  With ``warmup=None`` the splice is
         bit-exact against serial simulation; bounded warmup trades
@@ -269,27 +321,25 @@ class SweepEngine:
         jobs = [(spec, full, p.sub_start, p.sub_stop,
                  p.measure_from, p.measure_to) for p in plans]
         workers = min(self.jobs, len(jobs))
-        if workers <= 1:
-            outcomes = [_execute_segment_job(job) for job in jobs]
-        else:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
-            with ctx.Pool(processes=workers) as pool:
-                outcomes = pool.map(_execute_segment_job, jobs,
-                                    chunksize=1)
+        labels = [(workload, "%s:seg%d" % (full.fusion_mode.value,
+                                           plan.index))
+                  for plan in plans]
+        outcomes, report = run_jobs(
+            jobs, _execute_segment_job, labels, workers=workers,
+            timeout=self.job_timeout, retries=self.retries,
+            backoff_base=self.backoff_base)
+        self.last_report = report
 
         deltas = []
         failures: List[Tuple[str, str, str]] = []
-        for plan, (ok, outcome) in zip(plans, outcomes):
+        for plan, label, (ok, outcome) in zip(plans, labels, outcomes):
             if ok:
                 deltas.append(outcome)
             else:
-                failures.append((workload, "%s:seg%d"
-                                 % (full.fusion_mode.value, plan.index),
-                                 str(outcome)))
+                failures.append((workload, label[1],
+                                 as_failure(outcome).describe()))
         if failures:
-            raise SweepJobError(failures)
+            raise SweepJobError(failures, report=report)
         result = splice(deltas, workload, full)
         self.memo[memo_key] = result
         return result
@@ -344,9 +394,9 @@ class SweepEngine:
                     results[name][full.fusion_mode.value] = outcome
                 else:
                     failures.append((name, full.fusion_mode.value,
-                                     str(outcome)))
+                                     as_failure(outcome).describe()))
             if failures:
                 # Every successful sibling is already in the memo/disk
                 # cache; re-running the sweep re-simulates only these.
-                raise SweepJobError(failures)
+                raise SweepJobError(failures, report=self.last_report)
         return results

@@ -11,7 +11,9 @@ each simulation at most once *across* processes.
 
 Environment knobs: ``REPRO_JOBS`` (worker processes, default 1),
 ``REPRO_CACHE_DIR`` (cache directory), ``REPRO_NO_CACHE`` (disable the
-persistent layer).
+persistent layer), plus the fault-tolerance knobs consumed by
+:mod:`repro.experiments.faults` (``REPRO_JOB_TIMEOUT``,
+``REPRO_JOB_RETRIES``, ``REPRO_JOB_BACKOFF``, ``REPRO_FAULT_INJECT``).
 """
 
 from __future__ import annotations
@@ -22,18 +24,32 @@ from repro.config import FusionMode, ProcessorConfig
 from repro.core.results import SimResult
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import SweepEngine
+from repro.experiments.faults import SweepReport
 
 #: Process-local memo shared by every engine this module builds, so
 #: repeated figure/table calls in one process never re-read the disk.
 _MEMO: Dict[str, SimResult] = {}
 
+#: Execution report of the most recent sweep run through this façade
+#: (set even when the sweep raises, so failure post-mortems can reach
+#: the per-job attempt history).
+_LAST_REPORT: Optional[SweepReport] = None
+
 
 def _engine(jobs: Optional[int] = None,
             cache_dir: Optional[str] = None,
-            use_cache: Optional[bool] = None) -> SweepEngine:
+            use_cache: Optional[bool] = None,
+            job_timeout: Optional[float] = None,
+            retries: Optional[int] = None) -> SweepEngine:
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     return SweepEngine(jobs=jobs, cache=cache, use_cache=use_cache,
-                       memo=_MEMO)
+                       memo=_MEMO, job_timeout=job_timeout,
+                       retries=retries)
+
+
+def last_sweep_report() -> Optional[SweepReport]:
+    """The :class:`SweepReport` of the most recent sweep, if any."""
+    return _LAST_REPORT
 
 
 def get_result(workload: str, mode: FusionMode,
@@ -49,7 +65,9 @@ def get_segmented_result(workload: str, mode: FusionMode,
                          config: Optional[ProcessorConfig] = None,
                          jobs: Optional[int] = None,
                          max_uops: Optional[int] = None,
-                         scale_to: Optional[int] = None) -> SimResult:
+                         scale_to: Optional[int] = None,
+                         job_timeout: Optional[float] = None,
+                         retries: Optional[int] = None) -> SimResult:
     """Segment-parallel exact simulation of one (workload, mode).
 
     Splices K independently-simulated segments back into one
@@ -59,9 +77,15 @@ def get_segmented_result(workload: str, mode: FusionMode,
     in-process memo only; the persistent disk cache holds exclusively
     serial full-detail results.
     """
-    return _engine(jobs=jobs).segmented(
-        workload, mode, segments, warmup=warmup, config=config,
-        max_uops=max_uops, scale_to=scale_to)
+    global _LAST_REPORT
+    engine = _engine(jobs=jobs, job_timeout=job_timeout, retries=retries)
+    try:
+        return engine.segmented(
+            workload, mode, segments, warmup=warmup, config=config,
+            max_uops=max_uops, scale_to=scale_to)
+    finally:
+        if engine.last_report is not None:
+            _LAST_REPORT = engine.last_report
 
 
 def run_suite(modes: Iterable[FusionMode],
@@ -70,14 +94,25 @@ def run_suite(modes: Iterable[FusionMode],
               jobs: Optional[int] = None,
               cache_dir: Optional[str] = None,
               use_cache: Optional[bool] = None,
+              job_timeout: Optional[float] = None,
+              retries: Optional[int] = None,
               ) -> Dict[str, Dict[str, SimResult]]:
     """Sweep workloads x modes; returns results[workload][mode.value].
 
     ``jobs > 1`` fans cache misses across worker processes; the result
-    is bit-identical to the sequential (default) run.
+    is bit-identical to the sequential (default) run.  ``job_timeout``
+    and ``retries`` feed the fault-tolerant scheduler (see
+    :mod:`repro.experiments.faults`); the execution report of the run
+    is retrievable afterwards via :func:`last_sweep_report`.
     """
-    engine = _engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
-    return engine.sweep(modes, workloads=workloads, config=config)
+    global _LAST_REPORT
+    engine = _engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                     job_timeout=job_timeout, retries=retries)
+    try:
+        return engine.sweep(modes, workloads=workloads, config=config)
+    finally:
+        if engine.last_report is not None:
+            _LAST_REPORT = engine.last_report
 
 
 def clear_cache(disk: bool = False) -> None:

@@ -13,8 +13,15 @@ Entries are keyed by ``(workload name, max_uops, salt)`` where the
 salt hashes the workload's generated kernel source together with the
 capture and binary-format versions — so editing a kernel, changing its
 catalog parameters, or bumping the interpreter semantics all invalidate
-exactly the affected entries.  A corrupted or truncated file is
-treated as a miss, removed, and rebuilt cold.
+exactly the affected entries.  The store is safe under concurrent
+readers and writers (the parallel sweep's worker processes): a
+corrupted or truncated file is treated as a miss and quarantined —
+never blindly unlinked, which could race a concurrent ``put()`` and
+destroy a freshly-captured valid trace — orphaned ``*.tmp`` files from
+killed writers are swept age-gated at init, and a full or read-only
+store directory degrades the store to capture-per-process mode with a
+one-time warning instead of aborting the run (see
+:mod:`repro.core.fsutil`).
 
 Environment knobs:
 
@@ -34,6 +41,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.core import fsutil
 from repro.isa.trace import Trace
 from repro.isa.trace_io import (
     TRACE_BINARY_VERSION,
@@ -98,6 +106,12 @@ class TraceStore:
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_trace_dir()
+        #: Flipped by the first environmental write failure (ENOSPC,
+        #: read-only dir, permissions): later ``put`` calls become
+        #: no-ops instead of re-raising on every capture of a sweep.
+        self.degraded = False
+        # Reclaim temporaries orphaned by writers killed mid-put.
+        fsutil.sweep_stale_tmps(self.root)
 
     def path_for(self, name: str, max_uops: int, salt: str) -> Path:
         safe = "".join(c if c.isalnum() or c in "._-" else "_"
@@ -109,18 +123,24 @@ class TraceStore:
     def get(self, name: str, max_uops: int,
             salt: Optional[str] = None) -> Optional[Trace]:
         """The stored trace, or ``None`` on miss / stale salt /
-        corruption (corrupt files are removed so the rebuild persists)."""
+        corruption (corrupt files are quarantined so the rebuild
+        persists and the evidence survives)."""
         path = self.path_for(name, max_uops,
                              salt if salt is not None else workload_salt(name))
+        # Pin the identity of the file before reading it, so a corrupt
+        # parse quarantines *that* file and never one a concurrent
+        # put() replaced it with.
+        seen = fsutil.stat_or_none(path)
         try:
             return load_trace_binary(str(path))
         except FileNotFoundError:
             return None
-        except (TraceFormatError, OSError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except TraceFormatError:
+            fsutil.quarantine_if_unchanged(path, seen)
+            return None
+        except OSError:
+            # Environmental read failure: miss without condemning the
+            # entry — it may be perfectly valid.
             return None
 
     def get_segment(self, name: str, max_uops: int, start: int,
@@ -133,52 +153,82 @@ class TraceStore:
         materialises only its own window (plus warmup/drain slack)
         instead of the full multi-million-µop trace (see
         :func:`repro.isa.trace_io.load_trace_binary_segment`).  Corrupt
-        files are removed, like :meth:`get`; an out-of-range window on
-        a *valid* file is the caller's planning bug and raises.
+        files are quarantined, like :meth:`get`; an out-of-range window
+        on a *valid* file is the caller's planning bug and raises.
         """
         path = self.path_for(name, max_uops,
                              salt if salt is not None else workload_salt(name))
+        seen = fsutil.stat_or_none(path)
         try:
             return load_trace_binary_segment(str(path), start, count)
         except FileNotFoundError:
             return None
-        except (TraceFormatError, OSError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except TraceFormatError:
+            fsutil.quarantine_if_unchanged(path, seen)
+            return None
+        except OSError:
             return None
 
     def put(self, name: str, max_uops: int, trace: Trace,
-            salt: Optional[str] = None) -> Path:
-        """Atomically persist one trace (tmp file + rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+            salt: Optional[str] = None) -> Optional[Path]:
+        """Atomically persist one trace (tmp file + rename).
+
+        Returns the stored path, or ``None`` when an environmental
+        failure (disk full, read-only or unwritable store directory)
+        degraded the store to capture-per-process mode — with a
+        one-time warning instead of aborting the sweep.
+        """
+        if self.degraded:
+            return None
         path = self.path_for(name, max_uops,
                              salt if salt is not None else workload_salt(name))
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        except OSError as exc:
+            self._degrade(exc)
+            return None
         try:
             with os.fdopen(fd, "wb") as handle:
                 save_trace_binary(trace, handle)
             os.replace(tmp, str(path))
+        except OSError as exc:
+            fsutil.unlink_quiet(tmp)
+            self._degrade(exc)
+            return None
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # Programming errors and interrupts still propagate — only
+            # *environmental* failures degrade.
+            fsutil.unlink_quiet(tmp)
             raise
         return path
+
+    def _degrade(self, exc: BaseException) -> None:
+        if not self.degraded:
+            self.degraded = True
+            fsutil.warn_store_degraded("trace store", self.root, exc)
 
     # --------------------------------------------------------- inspection --
 
     def entries(self) -> List[Dict]:
-        """Metadata of every stored trace (for ``repro trace``)."""
+        """Metadata of every stored trace (for ``repro trace``).
+
+        Robust against concurrent mutation: a file deleted by another
+        process between the directory listing and the ``stat``/read is
+        skipped, not a crash.
+        """
         found = []
         for path in sorted(self.root.glob("*.trc")):
-            info: Dict = {"file": path.name, "bytes": path.stat().st_size}
+            st = fsutil.stat_or_none(path)
+            if st is None:
+                continue  # deleted by a concurrent clear()/put()
+            info: Dict = {"file": path.name, "bytes": st.st_size}
             try:
                 trace = load_trace_binary(str(path))
                 info["name"] = trace.name
                 info["uops"] = len(trace)
+            except FileNotFoundError:
+                continue  # vanished between stat and open
             except (TraceFormatError, OSError):
                 info["name"] = "?"
                 info["uops"] = 0
@@ -187,15 +237,22 @@ class TraceStore:
         return found
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.root.glob("*.trc"))
+        return fsutil.sum_file_sizes(self.root.glob("*.trc"))
+
+    def orphan_tmps(self) -> List[Path]:
+        """Leftover ``mkstemp`` files from writers that died mid-put."""
+        return fsutil.tmp_files(self.root)
+
+    def quarantined(self) -> List[Path]:
+        """Entries moved aside as corrupt (``*.corrupt``)."""
+        return fsutil.quarantined_files(self.root)
 
     def clear(self) -> int:
-        """Delete every stored trace; returns how many were removed."""
+        """Delete every stored trace — including orphaned temporaries
+        and quarantined corrupt files; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*.trc"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.trc", "*.tmp", "*" + fsutil.QUARANTINE_SUFFIX):
+            for path in self.root.glob(pattern):
+                if fsutil.unlink_quiet(path):
+                    removed += 1
         return removed

@@ -1,9 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.experiments import clear_cache
+from repro.experiments.faults import (
+    AttemptRecord,
+    JobRecord,
+    SweepReport,
+)
 
 
 def test_workloads_listing(capsys):
@@ -210,6 +217,77 @@ def test_simulate_segments_splices(capsys):
 def test_simulate_sample_and_segments_conflict():
     with pytest.raises(SystemExit, match="alternative strategies"):
         main(["simulate", "dijkstra", "--sample", "--segments", "2"])
+
+
+# ---- fault tolerance surface -------------------------------------------------
+
+def test_experiment_writes_report_json(capsys, tmp_path):
+    clear_cache()  # cold in-process memo: force actual execution
+    report_file = tmp_path / "sweep.json"
+    assert main(["experiment", "cpi", "--workloads", "crc32",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--report-json", str(report_file)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote sweep execution report to" in out
+    payload = json.loads(report_file.read_text())
+    assert payload["summary"]["jobs"] == 2      # NoFusion + Helios
+    assert payload["summary"]["failed"] == 0
+    assert main(["sweep-report", str(report_file)]) == 0
+    out = capsys.readouterr().out
+    assert "sweep report: 2 job(s)" in out
+    assert "crc32" in out and "ok" in out
+
+
+def test_sweep_report_flags_failed_jobs(capsys, tmp_path):
+    report = SweepReport(jobs=[JobRecord(
+        workload="crc32", mode="Helios", ok=False,
+        attempts=[AttemptRecord(attempt=1, where="pool",
+                                outcome="lost-worker", duration_s=0.5,
+                                error="WorkerLost: exit code -9",
+                                exitcode=-9)])],
+        workers=4, timeout_s=30.0, retries=0)
+    path = tmp_path / "failed.json"
+    path.write_text(json.dumps(report.to_dict()))
+    assert main(["sweep-report", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "lost-worker" in out
+    assert "WorkerLost" in out
+
+
+def test_sweep_report_rejects_bad_input(tmp_path):
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["sweep-report", str(tmp_path / "missing.json")])
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]")
+    with pytest.raises(SystemExit, match="invalid sweep report"):
+        main(["sweep-report", str(bad)])
+
+
+def test_cache_info_counts_orphans_and_quarantine(capsys, tmp_path):
+    (tmp_path / "in-flight.tmp").write_text("x")
+    (tmp_path / "bad.json.corrupt").write_text("y")
+    assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "orphaned tmp files: 1" in out
+    assert "quarantined corrupt entries: 1" in out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 2" in capsys.readouterr().out
+
+
+def test_trace_info_counts_orphans_and_quarantine(capsys, tmp_path):
+    (tmp_path / "in-flight.tmp").write_bytes(b"x")
+    (tmp_path / "bad.trc.corrupt").write_bytes(b"y")
+    assert main(["trace", "--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "orphaned tmp files: 1" in out
+    assert "quarantined corrupt entries: 1" in out
+
+
+def test_simulate_segments_accepts_fault_knobs(capsys):
+    assert main(["simulate", "crc32", "--segments", "2",
+                 "--job-timeout", "300", "--retries", "1"]) == 0
+    assert "spliced from 2 segment(s)" in capsys.readouterr().out
 
 
 def test_simulate_sample_needs_two_strata():

@@ -1,8 +1,13 @@
 """Tests for the parallel sweep engine and the persistent result cache
 (serialization round-trips, fingerprint keying, corruption recovery,
-parallel-vs-sequential determinism, coverage bounds)."""
+concurrent-writer safety, parallel-vs-sequential determinism, coverage
+bounds)."""
 
+import errno
 import json
+import os
+import time
+import warnings
 
 import pytest
 
@@ -127,6 +132,121 @@ def test_cache_inspection_and_clear(tmp_path, helios_result):
     assert cache.entries() == []
 
 
+# ---- concurrent-writer safety ------------------------------------------------
+
+class _RaceyRoot:
+    """Root stub replaying a lost race: the directory listing still
+    shows a file another process has already deleted."""
+
+    def __init__(self, real, ghost):
+        self._real = real
+        self._ghost = ghost
+
+    def glob(self, pattern):
+        paths = list(self._real.glob(pattern))
+        if self._ghost.match(pattern):
+            paths.append(self._ghost)
+        return paths
+
+
+def test_entries_skip_files_deleted_mid_iteration(tmp_path, helios_result):
+    # path.stat() used to run outside the try block, so a file deleted
+    # by a concurrent clear()/put() between glob and stat crashed
+    # `repro cache info` with FileNotFoundError.
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    cache.put("657.xz_1", config, helios_result)
+    cache.root = _RaceyRoot(tmp_path, tmp_path / "zz-deleted.json")
+    entries = cache.entries()                 # must not raise
+    assert [e["workload"] for e in entries] == ["657.xz_1"]
+    assert cache.size_bytes() > 0             # must not raise either
+
+
+def test_corrupt_entry_is_quarantined_not_destroyed(tmp_path,
+                                                    helios_result):
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    cache.put("657.xz_1", config, helios_result)
+    path = cache.path_for(cache_key("657.xz_1", config))
+    path.write_text("{ truncated garbage")
+    assert cache.get("657.xz_1", config) is None
+    # The evidence is preserved out-of-namespace, not unlinked.
+    assert not path.exists()
+    (quarantined,) = cache.quarantined()
+    assert quarantined.name == path.name + ".corrupt"
+    assert quarantined.read_text() == "{ truncated garbage"
+    assert cache.entries() == []              # out of the namespace
+    assert cache.size_bytes() == 0
+    assert cache.clear() == 1                 # clear() reclaims it
+    assert cache.quarantined() == []
+
+
+def test_concurrent_put_survives_corruption_cleanup(tmp_path,
+                                                    helios_result,
+                                                    monkeypatch):
+    # The old blind `path.unlink()` on a corrupt read could delete a
+    # *fresh valid* entry that a concurrent put() had just os.replace'd
+    # over the corrupt one.  Simulate the two-process interleaving: the
+    # reader parses the corrupt bytes, the writer replaces the file,
+    # then the reader runs its cleanup.
+    cache = ResultCache(tmp_path)
+    writer = ResultCache(tmp_path)            # the "other process"
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+    cache.put("657.xz_1", config, helios_result)
+    path = cache.path_for(cache_key("657.xz_1", config))
+    path.write_text("{ corrupt half-written entry")
+    real_load = json.load
+
+    def racing_load(handle, *args, **kwargs):
+        writer.put("657.xz_1", config, helios_result)
+        raise ValueError("simulated corrupt parse")
+
+    monkeypatch.setattr(json, "load", racing_load)
+    assert cache.get("657.xz_1", config) is None   # this read: a miss
+    monkeypatch.setattr(json, "load", real_load)
+    assert path.exists()                      # the fresh entry survived
+    assert cache.quarantined() == []          # and was not condemned
+    hit = cache.get("657.xz_1", config)
+    assert hit is not None and hit.stats == helios_result.stats
+
+
+def test_stale_orphan_tmps_swept_on_init(tmp_path):
+    stale = tmp_path / "dead-writer.tmp"
+    stale.write_text("half a payload")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+    young = tmp_path / "live-writer.tmp"
+    young.write_text("in-flight payload")
+    cache = ResultCache(tmp_path)             # init sweeps age-gated
+    assert not stale.exists()                 # orphan reclaimed
+    assert young.exists()                     # live writer untouched
+    assert cache.orphan_tmps() == [young]
+    assert cache.entries() == []              # tmps never listed
+    assert cache.clear() == 1                 # clear() is not age-gated
+    assert cache.orphan_tmps() == []
+
+
+def test_put_degrades_to_uncached_on_write_failure(tmp_path,
+                                                   helios_result,
+                                                   monkeypatch):
+    from repro.experiments import cache as cache_mod
+    cache = ResultCache(tmp_path)
+    config = ProcessorConfig().with_mode(FusionMode.HELIOS)
+
+    def no_space(*args, **kwargs):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(cache_mod.tempfile, "mkstemp", no_space)
+    with pytest.warns(RuntimeWarning, match="degraded to uncached"):
+        cache.put("657.xz_1", config, helios_result)
+    assert cache.degraded
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")        # the warning fires once
+        cache.put("657.xz_1", config, helios_result)
+    assert cache.get("657.xz_1", config) is None
+    assert list(tmp_path.glob("*.tmp")) == [] # nothing leaked
+
+
 # ---- sweep engine ------------------------------------------------------------
 
 SWEEP_MODES = [FusionMode.NONE, FusionMode.CSF_SBR]
@@ -223,14 +343,21 @@ def test_parallel_sweep_reports_failures_without_aborting(tmp_path):
         or "unknown" in str(outcomes[1][1])
 
 
-def test_guarded_worker_stringifies_unpicklable_errors():
+def test_guarded_worker_ships_traceback_with_failures():
+    # Failures come back as a picklable JobFailure carrying the full
+    # worker-side traceback — stringifying to "ExcType: message" used
+    # to discard it and made worker crashes undebuggable.
     from repro.experiments.engine import _execute_job_guarded
+    from repro.experiments.faults import JobFailure
     ok, outcome = _execute_job_guarded(("no-such-workload",
                                         ProcessorConfig()))
     assert not ok
-    assert isinstance(outcome, str)
-    assert "no-such-workload" in outcome
-    assert outcome.startswith("KeyError")
+    assert isinstance(outcome, JobFailure)
+    assert "no-such-workload" in outcome.error
+    assert outcome.error.startswith("KeyError")
+    assert "Traceback (most recent call last)" in outcome.traceback
+    assert "no-such-workload" in outcome.describe()
+    assert "Traceback" in outcome.describe()
 
 
 # ---- REPRO_JOBS parsing ------------------------------------------------------
