@@ -40,7 +40,8 @@ any divergence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.analysis.legality import LegalityAnalyzer, LegalityReport, Reason
 from repro.analysis.sanitizer import Sanitizer, SanitizerError
@@ -71,7 +72,10 @@ class Divergence:
     #: Machine-readable kind: ``replay-stream``, ``oracle-illegal``,
     #: ``fused-illegal``, ``other-idiom``, ``uch-contract``,
     #: ``commit-incomplete``, ``commit-order``, ``drain-coverage``,
-    #: ``memory-mismatch``, ``sanitizer``, ``hang``.
+    #: ``memory-mismatch``, ``sanitizer``, ``hang``,
+    #: ``static-unexplained`` (a dynamically-legal pair the static
+    #: analyzer can neither discover nor excuse with a checkable
+    #: reason class — see :mod:`repro.analysis.static.contract`).
     kind: str
     detail: str
     head_seq: Optional[int] = None
@@ -98,7 +102,7 @@ class ModeCheck:
     deadlock_unfusions: int = 0
     fusion_flushes: int = 0
     sanitizer_checks: int = 0
-    divergences: List[Divergence] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -113,12 +117,12 @@ class AnalysisReport:
     num_uops: int
     legality: LegalityReport
     oracle_pairs: int
-    oracle_census: Dict[Reason, int]
-    trace_divergences: List[Divergence] = field(default_factory=list)
-    checks: List[ModeCheck] = field(default_factory=list)
+    oracle_census: dict[Reason, int]
+    trace_divergences: list[Divergence] = field(default_factory=list)
+    checks: list[ModeCheck] = field(default_factory=list)
 
     @property
-    def divergences(self) -> List[Divergence]:
+    def divergences(self) -> list[Divergence]:
         out = list(self.trace_divergences)
         for check in self.checks:
             out.extend(check.divergences)
@@ -161,7 +165,7 @@ class AnalysisReport:
                          "functional replay")
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "workload": self.workload,
             "num_uops": self.num_uops,
@@ -188,9 +192,9 @@ class AnalysisReport:
 # -- stream comparison -------------------------------------------------------
 
 def _compare_streams(trace: Trace, fresh: Trace,
-                     limit: int = 10) -> List[Divergence]:
+                     limit: int = 10) -> list[Divergence]:
     """The stored/shared trace must be the fresh interpreter's stream."""
-    out: List[Divergence] = []
+    out: list[Divergence] = []
     if len(trace) != len(fresh):
         out.append(Divergence(
             "replay-stream",
@@ -215,16 +219,20 @@ def _compare_streams(trace: Trace, fresh: Trace,
 
 def check_pipeline(trace: Trace, config: ProcessorConfig,
                    legality: LegalityReport,
-                   store_values: Optional[Dict[int, int]] = None,
+                   store_values: Optional[dict[int, int]] = None,
                    baseline_memory: Optional[Memory] = None,
-                   expected_memory: Optional[Dict[int, bytes]] = None,
-                   sanitize: bool = True) -> ModeCheck:
+                   expected_memory: Optional[dict[int, bytes]] = None,
+                   sanitize: bool = True,
+                   static_report=None) -> ModeCheck:
     """Run one mode with the commit log armed and validate everything.
 
     ``store_values`` / ``baseline_memory`` / ``expected_memory`` enable
     the architectural-state half (drain replay); without them only the
     fusion-legality and completeness checks run (synthesized traces
-    have no program to re-interpret).
+    have no program to re-interpret).  ``static_report`` (a
+    :class:`~repro.analysis.static.candidates.StaticReport`) arms the
+    static↔dynamic contract: every committed memory pair must be a
+    static candidate or carry a checkable reason class.
     """
     check = ModeCheck(mode=config.fusion_mode.value)
     clog = CommitLog()
@@ -270,7 +278,8 @@ def check_pipeline(trace: Trace, config: ProcessorConfig,
             check.divergences.append(Divergence(
                 "commit-order", "fused heads committed out of order"))
 
-    # 2. Every committed fused pair is statically legal.
+    # 2. Every committed fused pair is statically legal — and, when
+    #    the static contract is armed, statically *discoverable*.
     fused = clog.fused_pairs()
     check.committed_pairs = len(fused)
     for head_seq, tail_seq, kind in fused:
@@ -282,6 +291,16 @@ def check_pipeline(trace: Trace, config: ProcessorConfig,
                     "committed %s pair is illegal: %s"
                     % (kind, verdict.describe()),
                     head_seq=head_seq, tail_seq=tail_seq))
+            elif static_report is not None:
+                from repro.analysis.static.contract import \
+                    explain_dynamic_pair
+                pair_check = explain_dynamic_pair(
+                    trace, static_report, head_seq, tail_seq,
+                    source="committed:%s" % config.fusion_mode.value)
+                if not pair_check.ok:
+                    check.divergences.append(Divergence(
+                        "static-unexplained", pair_check.describe(),
+                        head_seq=head_seq, tail_seq=tail_seq))
         else:  # 'other' idiom pairs: adjacent and a real Table I idiom
             if tail_seq != head_seq + 1 \
                     or match_idiom(trace[head_seq].inst,
@@ -346,18 +365,25 @@ def analyze_trace(trace: Trace,
                   modes: Optional[Sequence[FusionMode]] = None,
                   config: Optional[ProcessorConfig] = None,
                   sanitize: bool = True,
-                  store_values: Optional[Dict[int, int]] = None,
+                  store_values: Optional[dict[int, int]] = None,
                   program=None,
-                  expected_memory: Optional[Dict[int, bytes]] = None,
+                  expected_memory: Optional[dict[int, bytes]] = None,
+                  static_report=None,
                   ) -> AnalysisReport:
-    """Differential analysis of one (possibly synthesized) trace."""
+    """Differential analysis of one (possibly synthesized) trace.
+
+    ``static_report`` arms the static↔dynamic contract: every oracle
+    pair and every committed memory pair must map to a static
+    candidate at its PC pair or carry a machine-checkable reason
+    class (see :mod:`repro.analysis.static.contract`).
+    """
     config = config or ProcessorConfig()
     analyzer = LegalityAnalyzer(
         trace, granularity=config.cache_access_granularity,
         max_distance=config.max_fusion_distance, name=trace.name)
     legality = analyzer.analyze()
 
-    census: Dict[Reason, int] = oracle_rejection_census(
+    census: dict[Reason, int] = oracle_rejection_census(
         trace, granularity=config.cache_access_granularity,
         max_distance=config.max_fusion_distance)
     pairs = cached_oracle_pairs(
@@ -374,13 +400,23 @@ def analyze_trace(trace: Trace,
                 "oracle pair outside the legal set: %s"
                 % verdict.describe(),
                 head_seq=pair.head_seq, tail_seq=pair.tail_seq))
+        elif static_report is not None:
+            from repro.analysis.static.contract import explain_dynamic_pair
+            pair_check = explain_dynamic_pair(
+                trace, static_report, pair.head_seq, pair.tail_seq,
+                source="oracle")
+            if not pair_check.ok:
+                report.trace_divergences.append(Divergence(
+                    "static-unexplained", pair_check.describe(),
+                    head_seq=pair.head_seq, tail_seq=pair.tail_seq))
 
     for mode in (modes if modes is not None else list(FusionMode)):
         baseline = _fresh_baseline(program) if program is not None else None
         report.checks.append(check_pipeline(
             trace, config.with_mode(mode), legality,
             store_values=store_values, baseline_memory=baseline,
-            expected_memory=expected_memory, sanitize=sanitize))
+            expected_memory=expected_memory, sanitize=sanitize,
+            static_report=static_report))
     return report
 
 
@@ -388,13 +424,17 @@ def analyze_workload(name: str,
                      modes: Optional[Sequence[FusionMode]] = None,
                      config: Optional[ProcessorConfig] = None,
                      max_uops: Optional[int] = None,
-                     sanitize: bool = True) -> AnalysisReport:
+                     sanitize: bool = True,
+                     static_contract: bool = False) -> AnalysisReport:
     """Full differential analysis of one catalog workload.
 
     Re-interprets the workload's program on a fresh interpreter
     (recording every stored value), cross-checks the shared trace
     against that stream, then runs every requested fusion mode with the
-    commit log (and optionally the sanitizer) armed.
+    commit log (and optionally the sanitizer) armed.  With
+    ``static_contract`` the workload's program is also run through the
+    static fusion analyzer and every dynamically-legal pair is checked
+    against its static candidate set.
     """
     from repro.workloads.catalog import (
         DEFAULT_MAX_UOPS, build_program, build_workload, ensure_known)
@@ -402,12 +442,18 @@ def analyze_workload(name: str,
     cap = max_uops or DEFAULT_MAX_UOPS
     trace = build_workload(name, max_uops=cap)
     program = build_program(name)
+    static_report = None
+    if static_contract:
+        from repro.analysis.static.contract import static_report_for
+        _analyzer, static_report = static_report_for(
+            program, config=config)
     interp = Interpreter(program, max_uops=cap, record_stores=True)
     fresh = interp.run()
     report = analyze_trace(
         trace, modes=modes, config=config, sanitize=sanitize,
         store_values=interp.store_values, program=program,
-        expected_memory=interp.memory.snapshot())
+        expected_memory=interp.memory.snapshot(),
+        static_report=static_report)
     report.workload = name
     report.trace_divergences[:0] = _compare_streams(trace, fresh)
     return report

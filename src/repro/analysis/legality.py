@@ -46,7 +46,8 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
+from typing import Optional
 
 from repro.fusion.taxonomy import span
 from repro.isa.trace import MicroOp, Trace
@@ -73,6 +74,9 @@ class Reason(enum.Enum):
       but a producer declined it (already paired greedily, pointer
       chase filter, configuration such as ``require_same_base``).
     """
+
+    #: Set per-member in ``__new__`` (bare annotations are not members).
+    policy: bool
 
     LEGAL = ("legal", False)
     #: Nucleii are not both loads or both stores (or not memory at all).
@@ -152,7 +156,7 @@ def _alias_of(store_lo: int, store_hi: int, lo: int, hi: int) -> AliasClass:
     return AliasClass.PARTIAL
 
 
-def _overlaps_any(ranges: List[Tuple[int, int]], lo: int, hi: int) -> bool:
+def _overlaps_any(ranges: list[tuple[int, int]], lo: int, hi: int) -> bool:
     for r_lo, r_hi in ranges:
         if r_lo < hi and lo < r_hi:
             return True
@@ -168,12 +172,12 @@ class PairVerdict:
     head_pc: int
     tail_pc: int
     #: Every legality reason that applies (empty tuple when legal).
-    reasons: Tuple[Reason, ...]
+    reasons: tuple[Reason, ...]
     #: Join over the catalyst stores against the pair's byte ranges.
     alias: AliasClass = AliasClass.NO_ALIAS
     #: Tail sources written inside the catalyst — the registers a
     #: Helios tail ghost re-binds to catalyst writers at rename.
-    rebound_srcs: Tuple[int, ...] = ()
+    rebound_srcs: tuple[int, ...] = ()
 
     @property
     def legal(self) -> bool:
@@ -221,7 +225,7 @@ class _CatalystState(object):
             {head.dest} if head.dest is not None else set())
         self.mem_taint = (
             [(head.addr, head.end_addr)] if head.is_store else [])
-        self.catalyst_stores = []  # type: List[MicroOp]
+        self.catalyst_stores = []  # type: list[MicroOp]
         self.catalyst_writes = set()  # type: set
         self.store_seen = False
         #: A catalyst load overlapping the head store's bytes without
@@ -284,11 +288,11 @@ class LegalityReport:
     granularity: int
     max_distance: int
     rebinding: bool
-    legal: FrozenSet[Tuple[int, int]]
+    legal: frozenset[tuple[int, int]]
     candidates: int
-    reason_counts: Dict[Reason, int] = field(default_factory=dict)
+    reason_counts: dict[Reason, int] = field(default_factory=dict)
     #: Alias-lattice census over the *legal* pairs.
-    alias_counts: Dict[AliasClass, int] = field(default_factory=dict)
+    alias_counts: dict[AliasClass, int] = field(default_factory=dict)
     _analyzer: Optional["LegalityAnalyzer"] = field(
         default=None, repr=False, compare=False)
 
@@ -301,13 +305,13 @@ class LegalityReport:
             raise ValueError("report was detached from its analyzer")
         return self._analyzer.classify_pair(head_seq, tail_seq)
 
-    def explain_pc(self, pc: int, limit: int = 20) -> List[PairVerdict]:
+    def explain_pc(self, pc: int, limit: int = 20) -> list[PairVerdict]:
         """Verdicts for candidates whose head or tail sits at ``pc``."""
         if self._analyzer is None:
             raise ValueError("report was detached from its analyzer")
         return self._analyzer.explain_pc(pc, limit=limit)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "trace": self.trace_name,
             "uops": self.uops,
@@ -355,7 +359,7 @@ class LegalityAnalyzer(object):
 
     def _classify(self, head: MicroOp, tail: MicroOp,
                   state: _CatalystState) -> PairVerdict:
-        reasons = []  # type: List[Reason]
+        reasons = []  # type: list[Reason]
         distance = tail.seq - head.seq
         same_kind = (tail.is_memory and head.is_memory
                      and tail.is_load == head.is_load)
@@ -414,11 +418,11 @@ class LegalityAnalyzer(object):
             state.absorb(self.uops[index])
         return self._classify(head, tail, state)
 
-    def verdicts_for_head(self, head_seq: int) -> List[PairVerdict]:
+    def verdicts_for_head(self, head_seq: int) -> list[PairVerdict]:
         """Verdicts for every same-kind candidate in the head's window."""
         start = self._index_of(head_seq)
         head = self.uops[start]
-        out = []  # type: List[PairVerdict]
+        out = []  # type: list[PairVerdict]
         if not head.is_memory:
             return out
         state = _CatalystState(head)
@@ -430,9 +434,9 @@ class LegalityAnalyzer(object):
             state.absorb(tail)
         return out
 
-    def explain_pc(self, pc: int, limit: int = 20) -> List[PairVerdict]:
+    def explain_pc(self, pc: int, limit: int = 20) -> list[PairVerdict]:
         """Candidate verdicts for heads at ``pc`` (first ``limit``)."""
-        out = []  # type: List[PairVerdict]
+        out = []  # type: list[PairVerdict]
         for uop in self.uops:
             if uop.pc != pc or not uop.is_memory:
                 continue

@@ -31,7 +31,6 @@ same <2 % contract as the observability layer.
 from __future__ import annotations
 
 import os
-from typing import List
 
 __all__ = [
     "SANITIZE_ENV",
@@ -58,7 +57,7 @@ class SanitizerError(AssertionError):
     sequence numbers involved).
     """
 
-    def __init__(self, cycle: int, violations: List[str]):
+    def __init__(self, cycle: int, violations: list[str]):
         self.cycle = cycle
         self.violations = list(violations)
         detail = "; ".join(self.violations[:8])
@@ -102,8 +101,8 @@ class Sanitizer(object):
         if violations:
             raise SanitizerError(core.now, violations)
 
-    def _rob_violations(self, core) -> List[str]:
-        out: List[str] = []
+    def _rob_violations(self, core) -> list[str]:
+        out: list[str] = []
         previous = -1
         in_iq = 0
         memory_seqs = set()
@@ -139,7 +138,7 @@ class Sanitizer(object):
 
     def final(self, core) -> None:
         """Leak checks once the whole trace has committed."""
-        violations: List[str] = []
+        violations: list[str] = []
         for name, collection in (
                 ("ROB", core.rob), ("AQ", core.aq),
                 ("rename latch", core.rename_latch),

@@ -1,0 +1,75 @@
+"""Static fusion-opportunity analysis.
+
+* :mod:`repro.analysis.static.cfg` — basic blocks + edges over a
+  program's interned static instruction table, with back-edge
+  classification and indirect-exit (``jalr``) flagging.
+* :mod:`repro.analysis.static.dataflow` — reaching definitions,
+  def-use chains, and conservative ``(root, offset)`` symbolic values
+  over the architectural register file.
+* :mod:`repro.analysis.static.candidates` — the path walker applying
+  the CSF/NCSF × CTF/NCTF × SBR/DBR taxonomy and the PR-4 legality
+  lattice per static PC pair, with three-valued YES/MAYBE/NO verdicts
+  (alias-dependent facts degrade to MAYBE, never to a guess).
+* :mod:`repro.analysis.static.contract` — the static↔dynamic
+  differential contract: every dynamically-legal pair must map to a
+  static candidate or carry a machine-checkable reason class.
+
+``contract`` is exposed lazily: it reaches the pipeline and the
+workload catalog, which this package must not drag in for pure static
+analysis of an instruction sequence.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import (
+    ENTRY_DEF,
+    DefUse,
+    ReachingDefs,
+    ValueResolver,
+    signed_delta,
+)
+from .candidates import (
+    DEFAULT_PATH_BUDGET,
+    StaticCandidate,
+    StaticFusionAnalyzer,
+    StaticReport,
+    StaticVerdict,
+    Uncertainty,
+    analyze_program,
+)
+
+_LAZY = (
+    "Explanation",
+    "ModeContract",
+    "PairCheck",
+    "WorkloadStaticContract",
+    "check_workload_contract",
+    "explain_dynamic_pair",
+    "render_contract_table",
+    "static_report_for",
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "ENTRY_DEF",
+    "DefUse",
+    "ReachingDefs",
+    "ValueResolver",
+    "signed_delta",
+    "DEFAULT_PATH_BUDGET",
+    "StaticCandidate",
+    "StaticFusionAnalyzer",
+    "StaticReport",
+    "StaticVerdict",
+    "Uncertainty",
+    "analyze_program",
+] + list(_LAZY)
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.analysis.static import contract
+
+        return getattr(contract, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -1,0 +1,226 @@
+"""Control-flow graph over a program's static instruction table.
+
+The dynamic analyses (PR 4's legality pass, the fusion oracle) see one
+*execution* of the code; this module recovers the object every decoder
+or compiler actually sees — the static CFG — so fusion opportunity can
+be characterized per PC pair rather than per trace occurrence.
+
+Blocks are maximal straight-line index ranges over
+``Program.instructions`` (equivalently the interned static table that
+``trace_io`` serializes: one record per PC).  Leaders are the entry,
+every branch/``jal`` target, and every successor of a control
+transfer.  Edges:
+
+* conditional branch — taken edge to the target block plus a
+  fallthrough edge (either may be missing when it leaves the program,
+  which the interpreter treats as a halt);
+* ``jal`` — one edge to the target;
+* ``jalr`` — *no* static edges: the only indirect control transfer in
+  the ISA.  The block is flagged ``indirect_exit`` and the contract
+  layer (:mod:`repro.analysis.static.contract`) uses that flag as a
+  machine-checkable reason class for dynamic pairs the static
+  enumerator cannot see;
+* ``ecall`` — halt, no successors (mirrors ``Interpreter._step``).
+
+Back edges are classified by DFS (an edge into a block currently on
+the DFS stack); the candidate walker uses them to find loop-carried
+pairs and to report which candidates only arise across an iteration
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Optional, Union
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import CODE_BASE, INSTRUCTION_BYTES, Program
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """Half-open instruction index range ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+    succs: tuple = ()
+    preds: tuple = ()
+    #: Block ends on ``jalr`` — dynamic successors are invisible to
+    #: the static analysis.
+    indirect_exit: bool = False
+    #: Block ends on ``ecall`` (the interpreter halts).
+    halts: bool = False
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, instruction_index: int) -> bool:
+        return self.start <= instruction_index < self.stop
+
+    @property
+    def last(self) -> int:
+        return self.stop - 1
+
+
+class CFG:
+    """Basic blocks, edges, and back-edge classification."""
+
+    def __init__(self, instructions: Sequence[Instruction],
+                 name: str = "<program>") -> None:
+        self.instructions = instructions
+        self.name = name
+        self.blocks: list = []
+        self.block_of: list = []  # instruction index -> block index
+        self.back_edges: frozenset = frozenset()
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        insts = self.instructions
+        n = len(insts)
+        if n == 0:
+            return
+        leaders = {0}
+        for i, inst in enumerate(insts):
+            opclass = inst.opclass
+            if opclass is OpClass.BRANCH or opclass is OpClass.JUMP:
+                if inst.target is not None and 0 <= inst.target < n:
+                    leaders.add(inst.target)
+                if i + 1 < n:
+                    leaders.add(i + 1)
+            elif opclass is OpClass.SYSTEM and i + 1 < n:
+                leaders.add(i + 1)
+        starts = sorted(leaders)
+        bounds = starts[1:] + [n]
+        self.blocks = [
+            BasicBlock(index=b, start=start, stop=stop)
+            for b, (start, stop) in enumerate(zip(starts, bounds))]
+        self.block_of = [0] * n
+        for block in self.blocks:
+            for i in range(block.start, block.stop):
+                self.block_of[i] = block.index
+        preds: dict = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            succs = []
+            last = insts[block.last]
+            opclass = last.opclass
+            if opclass is OpClass.BRANCH:
+                if last.target is not None and 0 <= last.target < n:
+                    succs.append(self.block_of[last.target])
+                if block.stop < n:
+                    succs.append(self.block_of[block.stop])
+            elif opclass is OpClass.JUMP:
+                if last.target is not None:  # jal
+                    if 0 <= last.target < n:
+                        succs.append(self.block_of[last.target])
+                else:  # jalr: indirect — no static successors
+                    block.indirect_exit = True
+            elif opclass is OpClass.SYSTEM:
+                block.halts = True
+            elif block.stop < n:
+                succs.append(self.block_of[block.stop])
+            # De-duplicate while keeping the taken-edge first.
+            seen: set = set()
+            unique = []
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    unique.append(succ)
+            block.succs = tuple(unique)
+            for succ in unique:
+                preds[succ].append(block.index)
+        for block in self.blocks:
+            block.preds = tuple(preds[block.index])
+        self.back_edges = self._find_back_edges()
+
+    def _find_back_edges(self) -> frozenset:
+        """DFS edge classification, every block a potential root."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = [WHITE] * len(self.blocks)
+        back: set = set()
+        for root in range(len(self.blocks)):
+            if color[root] != WHITE:
+                continue
+            stack: list = [(root, 0)]
+            color[root] = GREY
+            while stack:
+                block, cursor = stack[-1]
+                succs = self.blocks[block].succs
+                if cursor == len(succs):
+                    color[block] = BLACK
+                    stack.pop()
+                    continue
+                stack[-1] = (block, cursor + 1)
+                succ = succs[cursor]
+                if color[succ] == GREY:
+                    back.add((block, succ))
+                elif color[succ] == WHITE:
+                    color[succ] = GREY
+                    stack.append((succ, 0))
+        return frozenset(back)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def entry(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    def block_at(self, instruction_index: int) -> BasicBlock:
+        return self.blocks[self.block_of[instruction_index]]
+
+    def instruction_successors(self, instruction_index: int):
+        """``(next_index, crosses_back_edge)`` pairs a dynamic
+        execution may step to after ``instruction_index``."""
+        block = self.block_at(instruction_index)
+        if instruction_index != block.last:
+            return ((instruction_index + 1, False),)
+        return tuple(
+            (self.blocks[succ].start, (block.index, succ) in self.back_edges)
+            for succ in block.succs)
+
+    def pc_of(self, instruction_index: int) -> int:
+        return CODE_BASE + INSTRUCTION_BYTES * instruction_index
+
+    def index_of_pc(self, pc: int) -> int:
+        index, rem = divmod(pc - CODE_BASE, INSTRUCTION_BYTES)
+        if rem or not 0 <= index < len(self.instructions):
+            raise IndexError("pc 0x%x outside program %r" % (pc, self.name))
+        return index
+
+    def reachable_blocks(self) -> frozenset:
+        """Block indices reachable from the entry."""
+        if not self.blocks:
+            return frozenset()
+        seen = {0}
+        work = [0]
+        while work:
+            for succ in self.blocks[work.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return frozenset(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "instructions": len(self.instructions),
+            "blocks": [
+                {"index": b.index, "start": b.start, "stop": b.stop,
+                 "succs": list(b.succs), "preds": list(b.preds),
+                 "indirect_exit": b.indirect_exit, "halts": b.halts}
+                for b in self.blocks],
+            "back_edges": sorted(map(list, self.back_edges)),
+        }
+
+
+def build_cfg(program: Union[Program, Sequence[Instruction]],
+              name: Optional[str] = None) -> CFG:
+    """CFG over a :class:`Program` or a raw instruction sequence."""
+    if isinstance(program, Program):
+        return CFG(program.instructions, name=name or program.name)
+    return CFG(program, name=name or "<instructions>")

@@ -18,6 +18,8 @@
     python -m repro debug 657.xz_1 --events-out xz.trace.json
     python -m repro analyze dijkstra          # legality + differential
     python -m repro analyze 657.xz_1 --mode Helios --explain 0x1a4
+    python -m repro static all --json static-report.json
+    python -m repro static dijkstra --explain 0x10008,0x1000c
     python -m repro storage                   # Table II budget
 """
 
@@ -28,6 +30,7 @@ import dataclasses
 import sys
 from typing import List, Optional
 
+from repro.analysis.static.candidates import DEFAULT_PATH_BUDGET
 from repro.config import DEFAULT_MAX_UOPS, FusionMode, ProcessorConfig
 from repro.core.simulator import ipc_uplift, simulate, simulate_modes
 from repro.core.storage import helios_storage_budget
@@ -69,7 +72,7 @@ def _parse_mode(text: str) -> FusionMode:
         return _MODES[text.lower()]
     except KeyError:
         raise SystemExit("unknown mode %r; choose from: %s"
-                         % (text, ", ".join(m.value for m in FusionMode)))
+                         % (text, ", ".join(m.value for m in FusionMode))) from None
 
 
 def _workload_list(arg: Optional[str]) -> Optional[List[str]]:
@@ -79,7 +82,7 @@ def _workload_list(arg: Optional[str]) -> Optional[List[str]]:
     try:
         return ensure_known(names)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
 
 
 def _cmd_workloads(_args) -> int:
@@ -267,9 +270,9 @@ def _cmd_sweep_report(args) -> int:
             data = json.load(handle)
         report = SweepReport.from_dict(data)
     except OSError as exc:
-        raise SystemExit("cannot read %s: %s" % (args.file, exc))
+        raise SystemExit("cannot read %s: %s" % (args.file, exc)) from exc
     except ValueError as exc:
-        raise SystemExit("invalid sweep report %s: %s" % (args.file, exc))
+        raise SystemExit("invalid sweep report %s: %s" % (args.file, exc)) from exc
     print(report.render())
     return 1 if report.failed_jobs else 0
 
@@ -488,7 +491,8 @@ def _cmd_analyze(args) -> int:
             print()
         report = analyze_workload(name, modes=modes,
                                   max_uops=args.max_uops,
-                                  sanitize=not args.no_sanitize)
+                                  sanitize=not args.no_sanitize,
+                                  static_contract=args.static)
         print(report.render())
         if args.explain is not None:
             print()
@@ -505,6 +509,69 @@ def _cmd_analyze(args) -> int:
                       handle, indent=2)
         print("wrote %s" % args.json)
     return 1 if failed else 0
+
+
+def _parse_pc_pair(text: str):
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            "expected two comma-separated PCs, e.g. 0x10008,0x1000c")
+    try:
+        return tuple(int(p, 0) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError("bad PC in %r (hex ok)" % text) from None
+
+
+def _cmd_static(args) -> int:
+    """Static opportunity analysis + the static↔dynamic contract."""
+    import json
+
+    from repro.analysis.static.contract import (
+        check_workload_contract, render_contract_table)
+
+    if args.workloads.strip().lower() == "all":
+        names = list(workload_names())
+    else:
+        names = _workload_list(args.workloads)
+    if not names:
+        raise SystemExit("static needs at least one workload name")
+    modes = ([m.strip() for m in args.mode.split(",") if m.strip()]
+             if args.mode else ["oracle", "helios"])
+    for mode in modes:
+        if mode.lower() != "oracle":
+            _parse_mode(mode)  # fail fast on a typo
+    contracts = []
+    for name in names:
+        contract = check_workload_contract(
+            name, modes=modes, max_uops=args.max_uops,
+            path_budget=args.path_budget)
+        contracts.append(contract)
+        if args.verbose or not contract.ok:
+            print(contract.render())
+            print()
+    print(render_contract_table(contracts))
+    if args.explain is not None:
+        head_pc, tail_pc = args.explain
+        for contract in contracts:
+            static = contract.static
+            print()
+            print("%s: static candidates at (0x%x, 0x%x):"
+                  % (contract.workload, head_pc, tail_pc))
+            exact = [c for c in static.candidates.values()
+                     if c.head_pc == head_pc and c.tail_pc == tail_pc]
+            listed = exact or static.candidates_at_pc(head_pc)
+            if not listed:
+                print("  none (no walked path pairs these PCs)")
+            for candidate in listed[:20]:
+                print("  " + candidate.describe())
+    if args.json:
+        payloads = [c.to_dict(include_candidates=args.candidates)
+                    for c in contracts]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payloads if len(payloads) > 1 else payloads[0],
+                      handle, indent=2)
+        print("wrote %s" % args.json)
+    return 0 if all(c.ok for c in contracts) else 1
 
 
 def _cmd_storage(_args) -> int:
@@ -708,7 +775,46 @@ def build_parser() -> argparse.ArgumentParser:
                               "fusion heads at this PC (hex ok)")
     analyze.add_argument("--json", metavar="FILE",
                          help="write the machine-readable report here")
+    analyze.add_argument("--static", action="store_true",
+                         help="also enforce the static opportunity "
+                              "contract: every dynamically-legal pair "
+                              "must be a static candidate or carry a "
+                              "checkable reason class")
     analyze.set_defaults(func=_cmd_analyze)
+
+    static = sub.add_parser(
+        "static", help="static fusion-opportunity analyzer: CFG + "
+                       "dataflow candidates per PC pair, cross-checked "
+                       "against the dynamic oracle and the pipeline")
+    static.add_argument("workloads",
+                        help="comma-separated workload name(s), or 'all'")
+    static.add_argument("--mode",
+                        help="comma-separated dynamic pair sources: "
+                             "'oracle' (greedy oracle's legal set) "
+                             "and/or a fusion mode such as 'helios' "
+                             "(that pipeline's committed pairs); "
+                             "default oracle,helios")
+    static.add_argument("--max-uops", type=int, default=None, metavar="N",
+                        help="dynamic µ-op cap per trace (default %d)"
+                             % DEFAULT_MAX_UOPS)
+    static.add_argument("--path-budget", type=int,
+                        default=DEFAULT_PATH_BUDGET, metavar="N",
+                        help="abstract-execution visit budget per "
+                             "memory head (default %d)"
+                             % DEFAULT_PATH_BUDGET)
+    static.add_argument("--explain", type=_parse_pc_pair, metavar="PC,PC",
+                        default=None,
+                        help="print the static verdict for one "
+                             "(head, tail) PC pair (hex ok)")
+    static.add_argument("--verbose", action="store_true",
+                        help="full per-workload reports, not just the "
+                             "summary table")
+    static.add_argument("--candidates", action="store_true",
+                        help="include every candidate in the --json "
+                             "payload")
+    static.add_argument("--json", metavar="FILE",
+                        help="write the machine-readable report here")
+    static.set_defaults(func=_cmd_static)
 
     sub.add_parser("storage", help="print the Table II storage budget") \
         .set_defaults(func=_cmd_storage)

@@ -74,7 +74,7 @@ def default_jobs() -> int:
     except ValueError:
         raise ValueError(
             "invalid %s=%r: expected a positive integer or 'auto'"
-            % (JOBS_ENV, raw))
+            % (JOBS_ENV, raw)) from None
     if value == 0:
         return os.cpu_count() or 1  # 0 is documented shorthand for auto
     if value < 0:

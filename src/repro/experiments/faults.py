@@ -102,7 +102,7 @@ def default_job_timeout() -> Optional[float]:
         value = float(raw)
     except ValueError:
         raise ValueError("invalid %s=%r: expected seconds (float), "
-                         "'0' or 'off'" % (JOB_TIMEOUT_ENV, raw))
+                         "'0' or 'off'" % (JOB_TIMEOUT_ENV, raw)) from None
     if value <= 0 or value != value:  # rejects negatives and NaN
         raise ValueError("invalid %s=%r: deadline must be positive"
                          % (JOB_TIMEOUT_ENV, raw))
@@ -118,7 +118,7 @@ def default_job_retries() -> int:
         value = int(raw)
     except ValueError:
         raise ValueError("invalid %s=%r: expected a non-negative integer"
-                         % (JOB_RETRIES_ENV, raw))
+                         % (JOB_RETRIES_ENV, raw)) from None
     if value < 0:
         raise ValueError("invalid %s=%r: retries cannot be negative"
                          % (JOB_RETRIES_ENV, raw))
@@ -139,7 +139,7 @@ def default_backoff_base() -> float:
         value = float(raw)
     except ValueError:
         raise ValueError("invalid %s=%r: expected seconds (float)"
-                         % (JOB_BACKOFF_ENV, raw))
+                         % (JOB_BACKOFF_ENV, raw)) from None
     if value < 0 or value != value:
         raise ValueError("invalid %s=%r: backoff cannot be negative"
                          % (JOB_BACKOFF_ENV, raw))
@@ -226,7 +226,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             prob = float(prob_text)
         except ValueError:
             raise ValueError("fault probability %r is not a float"
-                             % prob_text)
+                             % prob_text) from None
         if not 0.0 <= prob <= 1.0:  # also rejects NaN
             raise ValueError("fault probability %r outside [0, 1]"
                              % prob_text)

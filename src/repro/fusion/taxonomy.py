@@ -66,13 +66,17 @@ def fuseable_span(head: MicroOp, tail: MicroOp, granularity: int = 64) -> bool:
     return span(head.addr, head.size, tail.addr, tail.size) <= granularity
 
 
-def classify_contiguity(head: MicroOp, tail: MicroOp,
-                        granularity: int = 64,
-                        line_bytes: int = 64) -> Contiguity:
-    """Classify a memory pair into Figure 4's categories."""
-    a0, a1 = head.addr, head.end_addr
-    b0, b1 = tail.addr, tail.end_addr
-    if span(a0, head.size, b0, tail.size) > granularity:
+def classify_contiguity_at(a0: int, size_a: int, b0: int, size_b: int,
+                           granularity: int = 64,
+                           line_bytes: int = 64) -> Contiguity:
+    """Figure 4 classification over raw ``(address, size)`` pairs.
+
+    Shared by the dynamic classifier (concrete trace addresses) and
+    the static analyzer (constant-resolved symbolic addresses), so the
+    two can never drift apart.
+    """
+    a1, b1 = a0 + size_a, b0 + size_b
+    if span(a0, size_a, b0, size_b) > granularity:
         return Contiguity.TOO_FAR
     if a0 < b1 and b0 < a1:
         return Contiguity.OVERLAPPING
@@ -81,6 +85,34 @@ def classify_contiguity(head: MicroOp, tail: MicroOp,
     if a0 // line_bytes == b0 // line_bytes and (a1 - 1) // line_bytes == (b1 - 1) // line_bytes:
         return Contiguity.SAME_LINE
     return Contiguity.NEXT_LINE
+
+
+def classify_contiguity(head: MicroOp, tail: MicroOp,
+                        granularity: int = 64,
+                        line_bytes: int = 64) -> Contiguity:
+    """Classify a memory pair into Figure 4's categories."""
+    return classify_contiguity_at(head.addr, head.size, tail.addr,
+                                  tail.size, granularity, line_bytes)
+
+
+def classify_relative(delta: int, size_head: int, size_tail: int,
+                      granularity: int = 64) -> Optional[Contiguity]:
+    """Alignment-free classification from a byte displacement.
+
+    The static analyzer often proves only that the tail's address is
+    the head's plus ``delta`` (same symbolic base, unknown absolute
+    alignment).  CONTIGUOUS / OVERLAPPING / TOO_FAR are decidable from
+    ``delta`` alone; the SAME_LINE vs NEXT_LINE split depends on the
+    base's line alignment, so those collapse to ``None`` ("near, line
+    class alignment-dependent").
+    """
+    if span(0, size_head, delta, size_tail) > granularity:
+        return Contiguity.TOO_FAR
+    if 0 < delta < size_head or 0 < -delta < size_tail or delta == 0:
+        return Contiguity.OVERLAPPING
+    if delta == size_head or -delta == size_tail:
+        return Contiguity.CONTIGUOUS
+    return None
 
 
 def classify_base(head: MicroOp, tail: MicroOp) -> BaseRegKind:

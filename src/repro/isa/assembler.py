@@ -17,7 +17,7 @@ Immediates may be decimal or ``0x`` hexadecimal.  Comments start with
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.isa.instructions import (
     ALU_RRI,
@@ -66,7 +66,7 @@ def _reg(text: str, line_no: int) -> int:
         raise AssemblyError("unknown register %r" % text, line_no) from None
 
 
-def _split_operands(text: str) -> List[str]:
+def _split_operands(text: str) -> list[str]:
     """Split an operand string on commas not inside parentheses."""
     operands, depth, current = [], 0, []
     for ch in text:
@@ -92,7 +92,7 @@ def _sext(value: int, bits: int) -> int:
     return value
 
 
-def _expand_li(rd: str, value: int) -> List[str]:
+def _expand_li(rd: str, value: int) -> list[str]:
     """Expand ``li`` into lui/addi/slli/addi chains (GNU as style)."""
     value = _sext(value & _MASK64, 64)
     if -2048 <= value < 2048:
@@ -127,7 +127,7 @@ _BRANCH_ZERO = {
 _BRANCH_SWAP = {"ble": "bge", "bgt": "blt", "bleu": "bgeu", "bgtu": "bltu"}
 
 
-def _expand_pseudo(mnemonic: str, operands: List[str], line_no: int) -> Optional[List[str]]:
+def _expand_pseudo(mnemonic: str, operands: list[str], line_no: int) -> Optional[list[str]]:
     """Return replacement source lines for a pseudo-instruction."""
     if mnemonic == "li":
         if len(operands) != 2:
@@ -168,9 +168,9 @@ def _expand_pseudo(mnemonic: str, operands: List[str], line_no: int) -> Optional
 class _Assembler:
     def __init__(self, name: str):
         self.name = name
-        self.lines: List[Tuple[str, int]] = []   # (source line, original line no)
-        self.labels: Dict[str, int] = {}
-        self.data_segments: Dict[int, bytearray] = {}
+        self.lines: list[tuple[str, int]] = []   # (source line, original line no)
+        self.labels: dict[str, int] = {}
+        self.data_segments: dict[int, bytearray] = {}
         self._data_cursor: Optional[int] = None
         self._in_data = False
 
@@ -326,13 +326,13 @@ class _Assembler:
         raise AssemblyError("unknown mnemonic %r" % mnemonic, line_no)
 
     @staticmethod
-    def _arity(ops: List[str], expected: int, mnemonic: str, line_no: int) -> None:
+    def _arity(ops: list[str], expected: int, mnemonic: str, line_no: int) -> None:
         if len(ops) != expected:
             raise AssemblyError(
                 "%s expects %d operands, got %d" % (mnemonic, expected, len(ops)),
                 line_no)
 
-    def _mem_operand(self, text: str, line_no: int) -> Tuple[int, int]:
+    def _mem_operand(self, text: str, line_no: int) -> tuple[int, int]:
         match = _MEM_OPERAND_RE.match(text.strip())
         if not match:
             raise AssemblyError("bad memory operand %r" % text, line_no)

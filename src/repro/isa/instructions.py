@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Optional, Tuple
+from typing import Optional
 
 
 class OpClass(enum.IntEnum):
@@ -178,7 +178,7 @@ class Instruction:
     # dataclass: the cache writes to ``__dict__`` directly.)
 
     @cached_property
-    def sources(self) -> Tuple[int, ...]:
+    def sources(self) -> tuple[int, ...]:
         """Source register indices, with x0 filtered out (never a dep)."""
         srcs = []
         if self.rs1 is not None and self.rs1 != 0:

@@ -9,7 +9,7 @@ injected into the cycle-level timing model.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.isa.instructions import SIGNED_LOADS, Instruction, OpClass
 from repro.isa.program import INSTRUCTION_BYTES, Program
@@ -55,7 +55,7 @@ class Memory:
     """Sparse byte-addressable memory backed by 4 KiB pages."""
 
     def __init__(self):
-        self._pages: Dict[int, bytearray] = {}
+        self._pages: dict[int, bytearray] = {}
 
     def _page(self, number: int) -> bytearray:
         page = self._pages.get(number)
@@ -101,7 +101,7 @@ class Memory:
     def resident_bytes(self) -> int:
         return len(self._pages) * _PAGE_SIZE
 
-    def snapshot(self) -> Dict[int, bytes]:
+    def snapshot(self) -> dict[int, bytes]:
         """Immutable image of resident memory, all-zero pages dropped.
 
         Absent pages read as zero, so two memories are architecturally
@@ -130,16 +130,16 @@ class Interpreter:
                  record_stores: bool = False):
         self.program = program
         self.max_uops = max_uops
-        self.regs: List[int] = [0] * NUM_ARCH_REGS
+        self.regs: list[int] = [0] * NUM_ARCH_REGS
         self.regs[2] = STACK_TOP  # sp
         self.memory = Memory()
         for base, data in program.data_segments.items():
             self.memory.load_segment(base, data)
         self.halted = False
-        self.uops: List[MicroOp] = []
+        self.uops: list[MicroOp] = []
         #: seq -> size-masked stored value, when ``record_stores`` — the
         #: ground truth the differential checker replays in drain order.
-        self.store_values: Optional[Dict[int, int]] = (
+        self.store_values: Optional[dict[int, int]] = (
             {} if record_stores else None)
 
     # -- register helpers -------------------------------------------------

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from collections.abc import Iterator
 
 from repro.isa.instructions import Instruction
 
@@ -22,9 +22,9 @@ class Program:
     before execution.
     """
 
-    instructions: List[Instruction]
-    labels: Dict[str, int] = field(default_factory=dict)
-    data_segments: Dict[int, bytes] = field(default_factory=dict)
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    data_segments: dict[int, bytes] = field(default_factory=dict)
     name: str = "program"
 
     def __len__(self) -> int:
@@ -53,7 +53,7 @@ class Program:
 
     def listing(self) -> str:
         """Human-readable disassembly, one line per instruction."""
-        index_to_label: Dict[int, List[str]] = {}
+        index_to_label: dict[int, list[str]] = {}
         for label, index in self.labels.items():
             index_to_label.setdefault(index, []).append(label)
         lines = []
@@ -63,9 +63,9 @@ class Program:
             lines.append("  %06x  %s" % (self.pc_of(i), inst))
         return "\n".join(lines)
 
-    def static_mix(self) -> Dict[str, int]:
+    def static_mix(self) -> dict[str, int]:
         """Count of static instructions per opclass name."""
-        mix: Dict[str, int] = {}
+        mix: dict[str, int] = {}
         for inst in self.instructions:
             key = inst.opclass.name
             mix[key] = mix.get(key, 0) + 1

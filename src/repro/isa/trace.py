@@ -14,7 +14,8 @@ instruction translates to exactly one µ-op, so "instruction" and
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
+from typing import Optional
 
 from repro.isa.instructions import Instruction, OpClass
 
@@ -118,10 +119,10 @@ class Trace:
 
     __slots__ = ("uops", "name", "_opclass_counts", "__weakref__")
 
-    def __init__(self, uops: List[MicroOp], name: str = "trace"):
+    def __init__(self, uops: list[MicroOp], name: str = "trace"):
         self.uops = uops
         self.name = name
-        self._opclass_counts: Optional[Dict[OpClass, int]] = None
+        self._opclass_counts: Optional[dict[OpClass, int]] = None
 
     def __len__(self) -> int:
         return len(self.uops)
@@ -132,9 +133,9 @@ class Trace:
     def __iter__(self) -> Iterator[MicroOp]:
         return iter(self.uops)
 
-    def opclass_counts(self) -> Dict[OpClass, int]:
+    def opclass_counts(self) -> dict[OpClass, int]:
         if self._opclass_counts is None:
-            counts: Dict[OpClass, int] = {}
+            counts: dict[OpClass, int] = {}
             for uop in self.uops:
                 counts[uop.opclass] = counts.get(uop.opclass, 0) + 1
             self._opclass_counts = counts

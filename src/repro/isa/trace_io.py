@@ -28,7 +28,8 @@ import re
 import struct
 import sys
 import zlib
-from typing import BinaryIO, Iterable, List, Optional, TextIO, Union
+from collections.abc import Iterable
+from typing import BinaryIO, Optional, TextIO, Union
 
 from repro.isa.decoder import decode
 from repro.isa.instructions import Instruction, opclass_for
@@ -84,7 +85,7 @@ def from_spike_log(lines: Iterable[str], name: str = "spike",
             # the emission loop below stops at ``max_uops``.
             break
 
-    uops: List[MicroOp] = []
+    uops: list[MicroOp] = []
     for index, (pc, word, addr) in enumerate(records):
         if max_uops is not None and len(uops) >= max_uops:
             break
@@ -151,7 +152,7 @@ def load_trace(source: Union[str, TextIO]) -> Trace:
                 "unsupported repro-trace version %r (this reader "
                 "understands version %d)" % (version, TRACE_JSON_VERSION))
         static_cache = {}
-        uops: List[MicroOp] = []
+        uops: list[MicroOp] = []
         for line in handle:
             record = json.loads(line)
             key = (record["mnemonic"], record["rd"], record["rs1"],
@@ -208,12 +209,12 @@ _UOP_STRUCT = struct.Struct("<IQQB")
 _INST_STRUCT = struct.Struct("<bbbqqQ")
 
 
-def _encode_body(trace: Trace) -> "tuple[bytes, List[Instruction]]":
+def _encode_body(trace: Trace) -> "tuple[bytes, list[Instruction]]":
     """The uncompressed body plus the interned static table."""
-    table: List[Instruction] = []
+    table: list[Instruction] = []
     index_of: dict = {}
-    chunks: List[bytes] = []
-    uop_records: List[bytes] = []
+    chunks: list[bytes] = []
+    uop_records: list[bytes] = []
     for uop in trace:
         inst = uop.inst
         index = index_of.get(id(inst))
@@ -290,12 +291,12 @@ def load_trace_binary(source: Union[str, bytes, BinaryIO]) -> Trace:
     try:
         body = zlib.decompress(payload[offset + name_len:])
     except zlib.error as exc:
-        raise TraceFormatError("corrupt binary trace body: %s" % exc)
+        raise TraceFormatError("corrupt binary trace body: %s" % exc) from exc
     if len(body) != body_len or zlib.crc32(body) != body_crc:
         raise TraceFormatError("binary trace body failed CRC check")
 
     from repro.isa.instructions import MEM_SIZE
-    table: List[Instruction] = []
+    table: list[Instruction] = []
     pos = 0
     try:
         for _ in range(num_insts):
@@ -318,11 +319,11 @@ def load_trace_binary(source: Union[str, bytes, BinaryIO]) -> Trace:
                 mem_size=MEM_SIZE.get(mnemonic, 0),
                 pc=pc))
     except (IndexError, struct.error, UnicodeDecodeError, ValueError) as exc:
-        raise TraceFormatError("corrupt static table: %s" % exc)
+        raise TraceFormatError("corrupt static table: %s" % exc) from exc
     if pos + num_uops * _UOP_STRUCT.size != len(body):
         raise TraceFormatError("binary trace µ-op section length mismatch")
 
-    uops: List[MicroOp] = []
+    uops: list[MicroOp] = []
     append = uops.append
     try:
         for seq, (index, addr, target_pc, flags) in enumerate(
@@ -330,7 +331,7 @@ def load_trace_binary(source: Union[str, bytes, BinaryIO]) -> Trace:
             append(MicroOp(seq, table[index], addr=addr,
                            taken=bool(flags & 1), target_pc=target_pc))
     except IndexError:
-        raise TraceFormatError("µ-op references unknown static entry")
+        raise TraceFormatError("µ-op references unknown static entry") from None
     return Trace(uops, name=name)
 
 
@@ -343,10 +344,10 @@ def _read_payload(source: Union[str, bytes, BinaryIO]) -> bytes:
     return source.read()
 
 
-def _parse_static_table(body, pos: int, num_insts: int) -> "tuple[List[Instruction], int]":
+def _parse_static_table(body, pos: int, num_insts: int) -> "tuple[list[Instruction], int]":
     """Decode the interned static table at ``body[pos:]``."""
     from repro.isa.instructions import MEM_SIZE
-    table: List[Instruction] = []
+    table: list[Instruction] = []
     try:
         for _ in range(num_insts):
             mnem_len = body[pos]
@@ -368,7 +369,7 @@ def _parse_static_table(body, pos: int, num_insts: int) -> "tuple[List[Instructi
                 mem_size=MEM_SIZE.get(mnemonic, 0),
                 pc=pc))
     except (IndexError, struct.error, UnicodeDecodeError, ValueError) as exc:
-        raise TraceFormatError("corrupt static table: %s" % exc)
+        raise TraceFormatError("corrupt static table: %s" % exc) from exc
     return table, pos
 
 
@@ -424,7 +425,7 @@ def load_trace_binary_segment(source: Union[str, bytes, BinaryIO],
             try:
                 data = decomp.decompress(bytes(piece))
             except zlib.error as exc:
-                raise TraceFormatError("corrupt binary trace body: %s" % exc)
+                raise TraceFormatError("corrupt binary trace body: %s" % exc) from exc
             if data:
                 crc = zlib.crc32(data, crc)
                 total += len(data)
@@ -484,7 +485,7 @@ def load_trace_binary_segment(source: Union[str, bytes, BinaryIO],
     if total != body_len or crc != body_crc:
         raise TraceFormatError("binary trace body failed CRC check")
 
-    uops: List[MicroOp] = []
+    uops: list[MicroOp] = []
     append = uops.append
     try:
         for seq, (index, addr, target_pc, flags) in enumerate(
@@ -492,5 +493,5 @@ def load_trace_binary_segment(source: Union[str, bytes, BinaryIO],
             append(MicroOp(seq, table[index], addr=addr,
                            taken=bool(flags & 1), target_pc=target_pc))
     except IndexError:
-        raise TraceFormatError("µ-op references unknown static entry")
+        raise TraceFormatError("µ-op references unknown static entry") from None
     return Trace(uops, name="%s[%d:%d]" % (name, start, start + count))

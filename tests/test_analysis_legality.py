@@ -281,3 +281,200 @@ def test_oracle_pairs_within_legal_set(source):
             "oracle paired (%d, %d) outside the legal set: %s" % (
                 pair.head_seq, pair.tail_seq,
                 report.explain(pair.head_seq, pair.tail_seq).describe())
+
+
+# -- explain_pc coverage across every analyzer-reachable Reason --------------
+
+def explain_head(source, head_pc_seq, **kwargs):
+    """explain_pc verdicts for the head at the given trace seq's PC."""
+    trace = trace_of(source)
+    analyzer = LegalityAnalyzer(trace, **kwargs)
+    return analyzer.explain_pc(trace.uops[head_pc_seq].pc)
+
+
+def reasons_at(verdicts):
+    out = set()
+    for verdict in verdicts:
+        out.update(verdict.reasons)
+    return out
+
+
+def test_explain_pc_span():
+    verdicts = explain_head("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x5, 96(x1)
+        ecall
+    """, 1)
+    assert Reason.SPAN in reasons_at(verdicts)
+
+
+def test_explain_pc_serializing_op():
+    verdicts = explain_head("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        fence
+        ld x5, 8(x1)
+        ecall
+    """, 1)
+    assert Reason.SERIALIZING_OP in reasons_at(verdicts)
+
+
+def test_explain_pc_deadlock_dependence():
+    verdicts = explain_head("""
+        li x1, 0x20000
+        ld x2, 0(x1)
+        ld x3, 0(x2)
+        ecall
+    """, 1)
+    assert Reason.DEADLOCK_DEPENDENCE in reasons_at(verdicts)
+
+
+def test_explain_pc_same_dest():
+    verdicts = explain_head("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x4, 8(x1)
+        ecall
+    """, 1)
+    assert Reason.SAME_DEST in reasons_at(verdicts)
+
+
+def test_explain_pc_aliasing_store():
+    verdicts = explain_head("""
+        li x1, 0x20000
+        li x5, 0x30000
+        sd x2, 0(x1)
+        sd x3, 0(x5)
+        sd x4, 8(x1)
+        ecall
+    """, 2)
+    assert Reason.ALIASING_STORE in reasons_at(verdicts)
+
+
+def test_explain_pc_catalyst_load_overlap():
+    verdicts = explain_head("""
+        li x1, 0x20000
+        sd x2, 0(x1)
+        ld x6, 4(x1)
+        sd x3, 8(x1)
+        ecall
+    """, 1)
+    assert Reason.CATALYST_LOAD_OVERLAP in reasons_at(verdicts)
+
+
+def test_explain_pc_dbr_store():
+    trace = trace_of("""
+        li x1, 0x20000
+        li x5, 0x20040
+        sd x2, 0(x1)
+        sd x3, 0(x5)
+        ecall
+    """)
+    head = next(u for u in trace.uops if u.is_store)
+    verdicts = LegalityAnalyzer(trace).explain_pc(head.pc)
+    assert Reason.DBR_STORE in reasons_at(verdicts)
+
+
+def test_explain_pc_catalyst_writes_base_strict():
+    source = """
+        li x1, 0x20000
+        li x2, 0x20000
+        ld x4, 0(x1)
+        mv x2, x1
+        ld x5, 8(x2)
+        ecall
+    """
+    strict = explain_head(source, 2, rebinding=False)
+    assert Reason.CATALYST_WRITES_BASE in reasons_at(strict)
+    relaxed = explain_head(source, 2)
+    assert Reason.CATALYST_WRITES_BASE not in reasons_at(relaxed)
+    assert any(v.rebound_srcs == (2,) for v in relaxed)
+
+
+def test_classify_pair_kind_mismatch_and_distance():
+    # explain_pc only enumerates same-kind in-window candidates, so
+    # KIND_MISMATCH and DISTANCE are reachable through classify_pair.
+    trace = trace_of("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        sd x4, 8(x1)
+        ecall
+    """)
+    verdict = LegalityAnalyzer(trace).classify_pair(1, 2)
+    assert Reason.KIND_MISMATCH in verdict.reasons
+    near = LegalityAnalyzer(trace, max_distance=0).classify_pair(1, 2)
+    assert Reason.DISTANCE in near.reasons
+
+
+def test_explain_pc_alias_lattice_outcomes():
+    # NO_ALIAS: no catalyst store at all.
+    no_alias = explain_head("""
+        li x1, 0x20000
+        ld x4, 0(x1)
+        ld x5, 8(x1)
+        ecall
+    """, 1)
+    assert no_alias and all(
+        v.alias is AliasClass.NO_ALIAS for v in no_alias)
+    # PARTIAL: an untainted catalyst sw overlaps the tail's bytes
+    # without covering them; the pair stays legal but is annotated.
+    partial = explain_head("""
+        li x1, 0x20000
+        li x9, 7
+        ld x4, 0(x1)
+        sw x9, 12(x1)
+        ld x5, 8(x1)
+        ecall
+    """, 2)
+    assert any(v.legal and v.alias is AliasClass.PARTIAL
+               for v in partial)
+    # COVERS: the catalyst sd fully covers the tail load's bytes
+    # (pure store-to-load forwarding of untainted data).
+    covers = explain_head("""
+        li x1, 0x20000
+        li x9, 7
+        ld x4, 0(x1)
+        sd x9, 8(x1)
+        ld x5, 8(x1)
+        ecall
+    """, 2)
+    assert any(v.legal and v.alias is AliasClass.COVERS
+               for v in covers)
+
+
+def test_explain_pc_respects_limit():
+    body = "\n".join("ld x%d, %d(x1)" % (5 + i % 8, 8 * (i % 4))
+                     for i in range(30))
+    trace = trace_of("li x1, 0x20000\n%s\necall" % body)
+    analyzer = LegalityAnalyzer(trace)
+    pc = trace.uops[1].pc
+    assert len(analyzer.explain_pc(pc, limit=5)) == 5
+    assert len(analyzer.explain_pc(pc)) == 20
+
+
+from hypothesis import given, settings  # noqa: E402
+
+from .test_pipeline_properties import stressful_programs  # noqa: E402
+
+
+@settings(max_examples=10, deadline=None)
+@given(stressful_programs())
+def test_explain_pc_matches_classify_pair(source):
+    """explain_pc is a view over classify_pair, never a divergence."""
+    trace = trace_of(source)
+    analyzer = LegalityAnalyzer(trace)
+    report = analyzer.analyze()
+    seen_pcs = set()
+    for uop in trace.uops:
+        if not uop.is_memory or uop.pc in seen_pcs:
+            continue
+        seen_pcs.add(uop.pc)
+        for verdict in analyzer.explain_pc(uop.pc, limit=40):
+            recomputed = analyzer.classify_pair(
+                verdict.head_seq, verdict.tail_seq)
+            assert recomputed == verdict
+            assert verdict.legal == report.is_legal(
+                verdict.head_seq, verdict.tail_seq)
+        if len(seen_pcs) >= 8:
+            break

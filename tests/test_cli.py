@@ -300,3 +300,56 @@ def test_simulate_max_uops_caps_trace(capsys):
                  "--max-uops", "5000"]) == 0
     out = capsys.readouterr().out
     assert "5000 instructions" in out or "IPC" in out
+
+
+def test_static_contract_table(capsys):
+    assert main(["static", "dijkstra", "--max-uops", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "dijkstra" in out
+    assert "contract: ok" in out
+
+
+def test_static_oracle_only_mode(capsys):
+    assert main(["static", "bitcount", "--mode", "oracle",
+                 "--max-uops", "10000"]) == 0
+    out = capsys.readouterr().out
+    assert "contract: ok" in out
+    # No Helios pipeline run: the committed column shows a dash.
+    row = next(line for line in out.splitlines()
+               if line.startswith("bitcount"))
+    assert " - " in row
+
+
+def test_static_verbose_and_explain(capsys):
+    assert main(["static", "dijkstra", "--max-uops", "10000",
+                 "--verbose", "--explain", "0x10008,0x1000c"]) == 0
+    out = capsys.readouterr().out
+    assert "static candidates:" in out
+    assert "0x10008" in out
+
+
+def test_static_json_report(capsys, tmp_path):
+    report_file = tmp_path / "static.json"
+    assert main(["static", "bitcount,dijkstra", "--max-uops", "10000",
+                 "--candidates", "--json", str(report_file)]) == 0
+    payload = json.loads(report_file.read_text())
+    assert isinstance(payload, list) and len(payload) == 2
+    by_name = {entry["workload"]: entry for entry in payload}
+    assert by_name["dijkstra"]["ok"]
+    assert "candidates" in by_name["dijkstra"]["static"]
+
+
+def test_static_unknown_workload():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["static", "not-a-workload"])
+
+
+def test_static_unknown_mode():
+    with pytest.raises(SystemExit, match="unknown mode"):
+        main(["static", "bitcount", "--mode", "banana"])
+
+
+def test_analyze_with_static_contract(capsys):
+    assert main(["analyze", "dijkstra", "--mode", "Helios",
+                 "--max-uops", "10000", "--static"]) == 0
+    assert "no divergences" in capsys.readouterr().out

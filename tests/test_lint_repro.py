@@ -97,3 +97,87 @@ def test_stats_mutation_allows_local_dicts_and_attributes():
 
 def test_repo_passes_lint():
     assert lint_repro.run(ROOT) == []
+
+
+HOT_CORE_SRC = '''
+class PipelineCore:
+    def _run(self):
+        while True:
+            self._fetch()
+            self._commit()
+
+    def _fetch(self):
+        width = self.config.fetch_width
+        for _ in range(width):
+            pass
+
+    def _commit(self):
+        head = self.rob[0]
+        return head
+
+    def _cold_helper(self):
+        # Not called from the run loop: unconstrained.
+        return [list() for _ in range(8)]
+'''
+
+
+def test_hot_methods_found_from_run_loop():
+    assert lint_repro.hot_methods(HOT_CORE_SRC) == \
+        ["_commit", "_fetch", "_run"]
+
+
+def test_hot_loop_clean_within_budget():
+    budgets = {"_run": (0, 0), "_fetch": (0, 1), "_commit": (0, 0)}
+    assert lint_repro.hot_loop_errors(HOT_CORE_SRC, budgets) == []
+
+
+def test_hot_loop_flags_new_allocation():
+    src = HOT_CORE_SRC.replace("head = self.rob[0]",
+                               "head = list(self.rob)[0]")
+    budgets = {"_run": (0, 0), "_fetch": (0, 1), "_commit": (0, 0)}
+    errors = lint_repro.hot_loop_errors(src, budgets)
+    assert any("_commit" in e and "allocations" in e for e in errors)
+
+
+def test_hot_loop_flags_unhoisted_attribute_chain():
+    src = HOT_CORE_SRC.replace("head = self.rob[0]",
+                               "head = self.stats.registry.count")
+    budgets = {"_run": (0, 0), "_fetch": (0, 1), "_commit": (0, 0)}
+    errors = lint_repro.hot_loop_errors(src, budgets)
+    assert any("_commit" in e and "chains" in e for e in errors)
+
+
+def test_hot_loop_new_stage_method_gets_zero_budget():
+    src = HOT_CORE_SRC.replace("self._commit()",
+                               "self._commit()\n            self._poll()")
+    src += '''
+    def _poll(self):
+        return {}
+'''
+    budgets = {"_run": (0, 0), "_fetch": (0, 1), "_commit": (0, 0)}
+    errors = lint_repro.hot_loop_errors(src, budgets)
+    assert any("_poll" in e and "allocations" in e for e in errors)
+
+
+def test_hot_loop_underspent_budget_asks_for_ratchet():
+    budgets = {"_run": (0, 0), "_fetch": (2, 1), "_commit": (0, 0)}
+    errors = lint_repro.hot_loop_errors(HOT_CORE_SRC, budgets)
+    assert any("ratchet" in e for e in errors)
+
+
+def test_hot_loop_stale_budget_entry_flagged():
+    budgets = {"_run": (0, 0), "_fetch": (0, 1), "_commit": (0, 0),
+               "_retired": (1, 1)}
+    errors = lint_repro.hot_loop_errors(HOT_CORE_SRC, budgets)
+    assert any("_retired" in e for e in errors)
+
+
+def test_hot_loop_ignores_cold_helpers():
+    budgets = {"_run": (0, 0), "_fetch": (0, 1), "_commit": (0, 0)}
+    errors = lint_repro.hot_loop_errors(HOT_CORE_SRC, budgets)
+    assert not any("_cold_helper" in e for e in errors)
+
+
+def test_hot_loop_core_matches_calibrated_budgets():
+    src = (ROOT / lint_repro.CORE_PATH).read_text(encoding="utf-8")
+    assert lint_repro.hot_loop_errors(src) == []

@@ -1,0 +1,127 @@
+"""Unit tests for CFG construction over the static instruction table."""
+
+from repro.analysis.static import build_cfg
+from repro.isa import assemble
+from repro.isa.program import CODE_BASE
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+def test_straight_line_single_block():
+    cfg = cfg_of("""
+        li x1, 0x20000
+        ld x2, 0(x1)
+        sd x2, 8(x1)
+        ecall
+    """)
+    # li to a large constant expands to two instructions; everything
+    # is one block ending on the halting ecall.
+    assert len(cfg.blocks) == 1
+    (block,) = cfg.blocks
+    assert block.start == 0 and block.stop == len(cfg.instructions)
+    assert block.succs == ()
+    assert block.halts
+    assert cfg.back_edges == frozenset()
+
+
+def test_branch_splits_blocks_and_edges():
+    cfg = cfg_of("""
+        li x1, 4
+    loop:
+        addi x1, x1, -1
+        bne x1, x0, loop
+        ecall
+    """)
+    # Blocks: [li], [addi, bne], [ecall].
+    assert len(cfg.blocks) == 3
+    entry, loop, exit_block = cfg.blocks
+    assert entry.succs == (loop.index,)
+    assert set(loop.succs) == {loop.index, exit_block.index}
+    assert exit_block.succs == ()
+    assert (loop.index, loop.index) in cfg.back_edges
+
+
+def test_jal_edge_and_jalr_indirect_exit():
+    cfg = cfg_of("""
+        jal x1, helper
+        ecall
+    helper:
+        ld x2, 0(x5)
+        jalr x0, x1, 0
+    """)
+    jal_block = cfg.block_at(0)
+    helper_block = cfg.block_at(2)
+    assert helper_block.index in jal_block.succs
+    assert helper_block.indirect_exit
+    assert helper_block.succs == ()
+
+
+def test_back_edge_detection_nested_loops():
+    cfg = cfg_of("""
+        li x1, 3
+    outer:
+        li x2, 3
+    inner:
+        addi x2, x2, -1
+        bne x2, x0, inner
+        addi x1, x1, -1
+        bne x1, x0, outer
+        ecall
+    """)
+    assert len(cfg.back_edges) == 2
+    for src, dst in cfg.back_edges:
+        # Both back edges point at an earlier (or equal) block.
+        assert dst <= src
+
+
+def test_instruction_successors_within_and_across_blocks():
+    cfg = cfg_of("""
+        li x1, 2
+    loop:
+        addi x1, x1, -1
+        bne x1, x0, loop
+        ecall
+    """)
+    # Mid-block: single fallthrough, never a back edge.
+    block = cfg.block_at(0)
+    assert cfg.instruction_successors(block.start) == \
+        ((block.start + 1, False),)
+    # The bne: one back edge into the loop, one forward fallthrough.
+    loop = next(b for b in cfg.blocks
+                if (b.index, b.index) in cfg.back_edges)
+    succs = dict(cfg.instruction_successors(loop.last))
+    assert succs[loop.start] is True
+    others = [target for target in succs if target != loop.start]
+    assert others and all(succs[t] is False for t in others)
+
+
+def test_pc_round_trip_and_reachability():
+    cfg = cfg_of("""
+        ld x2, 0(x5)
+        ecall
+        sd x2, 0(x5)
+        ecall
+    """)
+    for index in range(len(cfg.instructions)):
+        assert cfg.index_of_pc(cfg.pc_of(index)) == index
+    assert cfg.pc_of(0) == CODE_BASE
+    # The second (dead) block is not reachable from the entry.
+    dead = cfg.block_of[2]
+    assert dead not in cfg.reachable_blocks()
+    assert 0 in cfg.reachable_blocks()
+
+
+def test_to_dict_shape():
+    cfg = cfg_of("""
+        li x1, 2
+    loop:
+        addi x1, x1, -1
+        bne x1, x0, loop
+        ecall
+    """)
+    payload = cfg.to_dict()
+    assert payload["instructions"] == len(cfg.instructions)
+    assert len(payload["blocks"]) == len(cfg.blocks)
+    assert payload["back_edges"]

@@ -1,0 +1,179 @@
+"""Static↔dynamic differential contract tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.static import analyze_program
+from repro.analysis.static.contract import (
+    Explanation,
+    _committed_pairs,
+    check_workload_contract,
+    explain_dynamic_pair,
+    render_contract_table,
+    static_report_for,
+)
+from repro.config import FusionMode, ProcessorConfig
+from repro.fusion.oracle import cached_oracle_pairs
+from repro.isa import assemble, run_program
+
+from .test_pipeline_properties import stressful_programs
+
+
+def trace_of(source):
+    return run_program(assemble(source))
+
+
+def oracle_checks(source, **static_kwargs):
+    """Every oracle pair of ``source`` mapped through the static pass."""
+    program = assemble(source)
+    trace = run_program(program)
+    static = analyze_program(program, **static_kwargs)
+    pairs = cached_oracle_pairs(trace)
+    return [explain_dynamic_pair(trace, static, p.head_seq, p.tail_seq)
+            for p in pairs], trace, static
+
+
+def test_oracle_pairs_map_to_static_candidates():
+    checks, trace, static = oracle_checks("""
+        li x1, 0x20000
+        ld x2, 0(x1)
+        ld x3, 8(x1)
+        sd x2, 16(x1)
+        sd x3, 24(x1)
+        ecall
+    """)
+    assert checks, "expected at least one oracle pair"
+    for check in checks:
+        assert check.ok, check.describe()
+        assert check.explanation == Explanation.STATIC_YES
+
+
+def test_indirect_target_explanation():
+    # The oracle can pair loads across a jalr return; the static CFG
+    # cannot follow the indirect edge, so the contract must classify
+    # the pair as indirect-target rather than a violation.
+    source = """
+        li x1, 0x20000
+        ld x2, 0(x1)
+        jal x5, helper
+        ld x3, 8(x1)
+        ecall
+    helper:
+        addi x6, x0, 1
+        jalr x0, x5, 0
+    """
+    checks, trace, static = oracle_checks(source)
+    crossing = [c for c in checks
+                if c.explanation == Explanation.INDIRECT_TARGET]
+    for check in checks:
+        assert check.ok, check.describe()
+    assert crossing, "expected a pair whose catalyst crosses the jalr"
+
+
+def test_path_budget_explanation():
+    source = """
+        li x1, 0x20000
+        li x4, 4
+    loop:
+        ld x2, 0(x1)
+        ld x3, 8(x1)
+        addi x1, x1, 16
+        addi x4, x4, -1
+        bne x4, x0, loop
+        ecall
+    """
+    # Budget 0: every head's walk truncates before recording anything,
+    # so each dynamic pair must fall back to the path-budget class.
+    checks, trace, static = oracle_checks(source, path_budget=0)
+    assert static.truncated_heads
+    budgeted = [c for c in checks
+                if c.explanation == Explanation.PATH_BUDGET]
+    assert budgeted
+    for check in checks:
+        assert check.ok, check.describe()
+
+
+def test_unknown_pc_is_a_violation():
+    program = assemble("""
+        li x1, 0x20000
+        ld x2, 0(x1)
+        ld x3, 8(x1)
+        ecall
+    """)
+    trace = run_program(program)
+    # Static report over a *different* (shorter) program: the dynamic
+    # PCs fall outside its table.
+    static = analyze_program(assemble("ecall"))
+    check = explain_dynamic_pair(trace, static, 2, 3)
+    assert not check.ok
+    assert check.explanation == Explanation.UNKNOWN_PC
+
+
+def test_catalog_workload_contract_holds():
+    contract = check_workload_contract(
+        "dijkstra", modes=("oracle", "helios"), max_uops=20_000)
+    assert contract.ok, "\n".join(
+        check.describe() for check in contract.violations)
+    oracle = contract.mode("oracle")
+    assert oracle is not None and oracle.coverage == 1.0
+    helios = contract.mode("Helios")
+    assert helios is not None and helios.ok
+    assert 0.0 <= contract.realized_fraction <= 1.0
+    # Render paths exercised for coverage of the CLI surfaces.
+    assert "dijkstra" in contract.render()
+    table = render_contract_table([contract])
+    assert "contract: ok" in table
+    payload = contract.to_dict()
+    assert payload["ok"] and payload["modes"]
+
+
+def test_unknown_workload_is_rejected():
+    with pytest.raises(Exception):
+        check_workload_contract("not-a-workload")
+
+
+@settings(max_examples=15, deadline=None)
+@given(stressful_programs())
+def test_every_oracle_pair_statically_explained(source):
+    """Soundness: no dynamically-legal pair is a static surprise.
+
+    For arbitrary programs mixing loops, fences, calls (``ret`` is a
+    ``jalr`` — exercising the indirect-target class), and stores, every
+    oracle pair must map to a YES/MAYBE candidate or carry one of the
+    closed explanation classes.  A violation here means either the
+    walker wrongly proved NO on a realizable path or the CFG missed an
+    edge the dynamic execution took.
+    """
+    checks, _trace, _static = oracle_checks(source)
+    for check in checks:
+        assert check.ok, check.describe()
+
+
+@settings(max_examples=6, deadline=None)
+@given(stressful_programs())
+def test_every_committed_helios_pair_statically_explained(source):
+    program = assemble(source)
+    trace = run_program(program)
+    config = ProcessorConfig()
+    static = analyze_program(
+        program, granularity=config.cache_access_granularity,
+        max_distance=config.max_fusion_distance)
+    pairs = _committed_pairs(
+        trace, config.with_mode(FusionMode.HELIOS))
+    for head_seq, tail_seq in pairs:
+        check = explain_dynamic_pair(trace, static, head_seq, tail_seq,
+                                     source="committed:Helios")
+        assert check.ok, check.describe()
+
+
+def test_static_report_for_uses_config_window():
+    program = assemble("""
+        li x1, 0x20000
+        ld x2, 0(x1)
+        ld x3, 8(x1)
+        ecall
+    """)
+    config = ProcessorConfig(max_fusion_distance=2)
+    _analyzer, static = static_report_for(program, config=config)
+    assert static.window == 2
+    assert static.granularity == config.cache_access_granularity

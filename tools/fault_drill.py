@@ -126,7 +126,7 @@ def main(argv=None):
                  for m in args.modes.split(",") if m.strip()]
     except KeyError as exc:
         raise SystemExit("unknown mode %s; choose from: %s"
-                         % (exc, ", ".join(m.value for m in FusionMode)))
+                         % (exc, ", ".join(m.value for m in FusionMode))) from exc
     expected_jobs = len(names) * len(modes)
 
     # 1. Fault-free serial baseline (injection-immune by construction,

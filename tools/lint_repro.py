@@ -21,6 +21,17 @@ Two rules the generic linters cannot express:
    instruments; ad-hoc dict pokes bypass both the null-registry
    zero-overhead mode and the cache schema.
 
+3. **Hot-loop allocation/attribute discipline** — the per-cycle
+   methods of ``pipeline/core.py`` (everything ``_run``'s while-loop
+   invokes through ``self``, plus ``_run`` itself) are governed by
+   the DESIGN §4d invariants: container allocations and un-hoisted
+   deep attribute chains (``self.a.b…``) in those bodies are paid
+   every simulated cycle.  Each method carries a calibrated budget
+   (:data:`HOT_LOOP_BUDGETS`); exceeding it fails CI, and dropping
+   below it also fails with a request to ratchet the baseline down so
+   the table stays honest.  A per-cycle method with no budget entry
+   (i.e. a *new* stage) gets zero of both.
+
 Usage: ``python tools/lint_repro.py [--root DIR]``; exits non-zero on
 any violation.  The rule implementations are importable pure functions
 over source text so ``tests/test_lint_repro.py`` can exercise them.
@@ -32,7 +43,7 @@ import argparse
 import ast
 import sys
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 CONFIG_PATH = "src/repro/config.py"
 SAMPLES_PATH = "tests/test_config_fingerprint.py"
@@ -41,7 +52,7 @@ PIPELINE_DIR = "src/repro/pipeline"
 
 # -- rule 1: ProcessorConfig field classification ----------------------------
 
-def config_fields(source: str) -> List[str]:
+def config_fields(source: str) -> list[str]:
     """Dataclass field names of ``ProcessorConfig`` (annotated assigns)."""
     tree = ast.parse(source)
     for node in ast.walk(tree):
@@ -52,7 +63,7 @@ def config_fields(source: str) -> List[str]:
     raise ValueError("no ProcessorConfig class found")
 
 
-def non_timing_fields(source: str) -> Tuple[str, ...]:
+def non_timing_fields(source: str) -> tuple[str, ...]:
     """The literal ``NON_TIMING_FIELDS`` tuple inside ProcessorConfig."""
     tree = ast.parse(source)
     for node in ast.walk(tree):
@@ -66,7 +77,7 @@ def non_timing_fields(source: str) -> Tuple[str, ...]:
     raise ValueError("no NON_TIMING_FIELDS assignment found")
 
 
-def timing_sample_fields(source: str) -> List[str]:
+def timing_sample_fields(source: str) -> list[str]:
     """Keys of the ``TIMING_FIELD_SAMPLES`` dict in the fingerprint test."""
     tree = ast.parse(source)
     for node in tree.body:
@@ -88,7 +99,7 @@ def timing_sample_fields(source: str) -> List[str]:
 
 def classification_errors(fields: Sequence[str],
                           timing: Sequence[str],
-                          non_timing: Sequence[str]) -> List[str]:
+                          non_timing: Sequence[str]) -> list[str]:
     errors = []
     timing_set, non_timing_set = set(timing), set(non_timing)
     for name in fields:
@@ -111,9 +122,9 @@ def classification_errors(fields: Sequence[str],
 
 # -- rule 2: pipeline stats-mutation boundary --------------------------------
 
-def _chain_names(node: ast.AST) -> List[str]:
+def _chain_names(node: ast.AST) -> list[str]:
     """Dotted-name parts of an attribute chain (``a.b.c`` -> a, b, c)."""
-    names: List[str] = []
+    names: list[str] = []
     while isinstance(node, ast.Attribute):
         names.append(node.attr)
         node = node.value
@@ -127,11 +138,11 @@ def _is_stats_subscript(target: ast.AST) -> bool:
             and "stats" in _chain_names(target.value))
 
 
-def stats_mutation_errors(source: str, path: str = "<source>") -> List[str]:
+def stats_mutation_errors(source: str, path: str = "<source>") -> list[str]:
     """Subscript writes through a ``stats`` attribute chain."""
     errors = []
     for node in ast.walk(ast.parse(source)):
-        targets: List[ast.AST] = []
+        targets: list[ast.AST] = []
         if isinstance(node, ast.Assign):
             targets = list(node.targets)
         elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
@@ -150,10 +161,138 @@ def stats_mutation_errors(source: str, path: str = "<source>") -> List[str]:
     return errors
 
 
+# -- rule 3: hot-loop allocation/attribute discipline ------------------------
+
+CORE_PATH = "src/repro/pipeline/core.py"
+
+#: Calibrated per-method budgets for the per-cycle hot path:
+#: ``name -> (allocations, deep_attribute_chains)``.  Allocations are
+#: container displays/comprehensions and ``list``/``dict``/``set``/
+#: ``deque`` calls; deep chains are outermost ``self.a.b…`` reads
+#: (two or more attribute hops).  Calibrated against DESIGN §4d;
+#: regenerate a row with
+#: ``python -c "import tools.lint_repro as l; print(l.hot_loop_counts(
+#: open('src/repro/pipeline/core.py').read()))"`` after deliberately
+#: accepting a change.
+HOT_LOOP_BUDGETS = {
+    "_commit": (0, 4),
+    "_decode": (2, 3),
+    "_dispatch": (0, 8),
+    "_drain_stores": (0, 1),
+    "_fast_forward": (0, 1),
+    "_fetch": (0, 5),
+    "_idle_snapshot": (0, 2),
+    "_issue": (2, 2),
+    "_rename": (0, 3),
+    "_run": (1, 5),
+    "_sample_occupancy": (0, 2),
+    "_stall_slot_bucket": (0, 0),
+    "_train_uch": (0, 1),
+}
+
+_ALLOC_CALLS = ("list", "dict", "set", "deque", "defaultdict")
+_ALLOC_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _core_methods(tree: ast.Module) -> dict:
+    """``name -> FunctionDef`` for every method of ``PipelineCore``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "PipelineCore":
+            return {item.name: item for item in node.body
+                    if isinstance(item, ast.FunctionDef)}
+    raise ValueError("no PipelineCore class found")
+
+
+def hot_methods(source: str) -> list[str]:
+    """Per-cycle methods: ``self._x(...)`` calls in ``_run``'s loop."""
+    methods = _core_methods(ast.parse(source))
+    run = methods.get("_run")
+    if run is None:
+        raise ValueError("PipelineCore has no _run method")
+    names = {"_run"}
+    loops = [node for node in ast.walk(run)
+             if isinstance(node, (ast.While, ast.For))]
+    for loop in loops:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "self" \
+                    and node.func.attr in methods:
+                names.add(node.func.attr)
+    return sorted(names)
+
+
+def _count_method(node: ast.FunctionDef) -> tuple[int, int]:
+    """(allocations, outermost deep self-attribute chains) in a body."""
+    allocations = 0
+    chains = 0
+    inner_values = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            inner_values.add(id(sub.value))
+    for sub in ast.walk(node):
+        if isinstance(sub, _ALLOC_NODES):
+            allocations += 1
+        elif isinstance(sub, ast.Call) \
+                and isinstance(sub.func, ast.Name) \
+                and sub.func.id in _ALLOC_CALLS:
+            allocations += 1
+        elif isinstance(sub, ast.Attribute) and id(sub) not in inner_values:
+            depth = 0
+            probe: ast.AST = sub
+            while isinstance(probe, ast.Attribute):
+                depth += 1
+                probe = probe.value
+            if depth >= 2 and isinstance(probe, ast.Name) \
+                    and probe.id == "self":
+                chains += 1
+    return allocations, chains
+
+
+def hot_loop_counts(source: str) -> dict:
+    """``name -> (allocations, deep_chains)`` for per-cycle methods."""
+    methods = _core_methods(ast.parse(source))
+    return {name: _count_method(methods[name])
+            for name in hot_methods(source)}
+
+
+def hot_loop_errors(source: str, budgets: dict = None,
+                    path: str = CORE_PATH) -> list[str]:
+    """Per-cycle methods over (or silently under) their §4d budgets."""
+    budgets = HOT_LOOP_BUDGETS if budgets is None else budgets
+    errors = []
+    counts = hot_loop_counts(source)
+    for name, (allocations, chains) in sorted(counts.items()):
+        budget_allocs, budget_chains = budgets.get(name, (0, 0))
+        for label, have, allowed in (
+                ("allocations", allocations, budget_allocs),
+                ("deep attribute chains", chains, budget_chains)):
+            if have > allowed:
+                errors.append(
+                    "%s: per-cycle method %s has %d %s (budget %d): "
+                    "hoist or move the work off the hot path "
+                    "(DESIGN 4d), or — only with a reviewed perf "
+                    "justification — raise HOT_LOOP_BUDGETS"
+                    % (path, name, have, label, allowed))
+            elif have < allowed:
+                errors.append(
+                    "%s: per-cycle method %s now has %d %s but the "
+                    "budget allows %d: ratchet HOT_LOOP_BUDGETS down "
+                    "to lock in the improvement"
+                    % (path, name, have, label, allowed))
+    for name in sorted(set(budgets) - set(counts)):
+        errors.append(
+            "HOT_LOOP_BUDGETS entry %r is not a per-cycle method of "
+            "PipelineCore any more; delete or rename the row" % name)
+    return errors
+
+
 # -- driver ------------------------------------------------------------------
 
-def run(root: Path) -> List[str]:
-    errors: List[str] = []
+def run(root: Path) -> list[str]:
+    errors: list[str] = []
     config_src = (root / CONFIG_PATH).read_text(encoding="utf-8")
     samples_src = (root / SAMPLES_PATH).read_text(encoding="utf-8")
     errors.extend(classification_errors(
@@ -164,6 +303,8 @@ def run(root: Path) -> List[str]:
         errors.extend(stats_mutation_errors(
             path.read_text(encoding="utf-8"),
             str(path.relative_to(root))))
+    errors.extend(hot_loop_errors(
+        (root / CORE_PATH).read_text(encoding="utf-8")))
     return errors
 
 
