@@ -15,7 +15,11 @@ paper's evaluation (see DESIGN.md §5 for the experiment index).
 
 from repro.experiments.analysis_suite import legality_census
 from repro.experiments.cache import ResultCache, default_cache_dir
-from repro.experiments.engine import SweepEngine, SweepJobError
+from repro.experiments.engine import (
+    SweepEngine,
+    SweepJobError,
+    preload_traces,
+)
 from repro.experiments.faults import (
     FaultPlan,
     JobFailure,
@@ -39,6 +43,7 @@ from repro.experiments.runner import (
     get_segmented_result,
     last_sweep_report,
     run_suite,
+    run_suite_with_report,
 )
 from repro.experiments.tables import table1, table2, table3
 
@@ -50,7 +55,8 @@ __all__ = [
     "figure2", "figure3", "figure4", "figure5",
     "figure8", "figure9", "figure10",
     "clear_cache", "get_result", "get_segmented_result",
-    "last_sweep_report", "run_suite",
+    "last_sweep_report", "preload_traces",
+    "run_suite", "run_suite_with_report",
     "legality_census",
     "table1", "table2", "table3",
 ]

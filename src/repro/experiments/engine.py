@@ -173,6 +173,32 @@ def _execute_job_guarded(job: Tuple[str, ProcessorConfig],
         return False, JobFailure.from_exception(exc)
 
 
+def preload_traces(specs: Iterable[Tuple[str, ProcessorConfig,
+                                         Optional[int]]]) -> None:
+    """Capture every distinct workload trace exactly once, and
+    pre-extract the oracle pair sets fusion-consuming jobs will need.
+
+    ``specs`` is ``(name, config, max_uops)`` — ``max_uops=None``
+    means the catalog default capture.  Run this in the parent before
+    any worker pool exists: ``fork`` workers then inherit the loaded
+    traces/pair sets via copy-on-write and replay instead of
+    re-interpreting, while ``spawn`` workers reload the same traces
+    from the persistent store.  Repeats are free (the workload memo
+    and the per-trace pair memo both deduplicate), so callers can pass
+    one spec per job without pre-deduplicating.  Shared by the sweep
+    engine and the simulation service's batch executor.
+    """
+    for name, config, max_uops in specs:
+        if max_uops is not None:
+            trace = build_workload(name, max_uops=max_uops)
+        else:
+            trace = build_workload(name)
+        if config.fusion_mode in (FusionMode.HELIOS, FusionMode.ORACLE):
+            cached_oracle_pairs(
+                trace, granularity=config.cache_access_granularity,
+                max_distance=config.max_fusion_distance)
+
+
 class SweepEngine:
     """Runs (workload, mode) sweeps through memo + disk cache + the
     fault-tolerant worker scheduler (see :mod:`repro.experiments.faults`).
@@ -236,22 +262,9 @@ class SweepEngine:
 
     @staticmethod
     def _preload(jobs: List[Tuple[str, ProcessorConfig]]) -> None:
-        """Capture every distinct workload trace exactly once, and
-        pre-extract the oracle pair sets the jobs will consume.
-
-        Runs in the parent before the pool exists, so ``fork`` workers
-        inherit the loaded traces/pair sets via copy-on-write and
-        replay instead of re-interpreting; ``spawn`` workers reload the
-        same traces from the persistent store.  Repeats are free: the
-        workload memo and the per-trace pair memo both deduplicate.
-        """
-        for name, config in jobs:
-            trace = build_workload(name)
-            if config.fusion_mode in (FusionMode.HELIOS,
-                                      FusionMode.ORACLE):
-                cached_oracle_pairs(
-                    trace, granularity=config.cache_access_granularity,
-                    max_distance=config.max_fusion_distance)
+        """Capture traces + oracle pair sets before the pool forks
+        (see :func:`preload_traces`)."""
+        preload_traces((name, config, None) for name, config in jobs)
 
     def _execute(self, jobs: List[Tuple[str, ProcessorConfig]]
                  ) -> List[Tuple[bool, object]]:

@@ -18,7 +18,7 @@ persistent layer), plus the fault-tolerance knobs consumed by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import FusionMode, ProcessorConfig
 from repro.core.results import SimResult
@@ -48,7 +48,17 @@ def _engine(jobs: Optional[int] = None,
 
 
 def last_sweep_report() -> Optional[SweepReport]:
-    """The :class:`SweepReport` of the most recent sweep, if any."""
+    """The :class:`SweepReport` of the most recent sweep, if any.
+
+    This is a *CLI-only convenience*: it reads a module-level global
+    that every sweep run through this façade overwrites, so two sweeps
+    interleaved in one process (the simulation service, or any
+    threaded caller) clobber each other's reports here.  Concurrent
+    callers must use :func:`run_suite_with_report` (or hold their own
+    :class:`~repro.experiments.engine.SweepEngine` and read its
+    ``last_report``), which threads the report through the return
+    value instead of this global.
+    """
     return _LAST_REPORT
 
 
@@ -88,6 +98,37 @@ def get_segmented_result(workload: str, mode: FusionMode,
             _LAST_REPORT = engine.last_report
 
 
+def run_suite_with_report(modes: Iterable[FusionMode],
+                          workloads: Optional[List[str]] = None,
+                          config: Optional[ProcessorConfig] = None,
+                          jobs: Optional[int] = None,
+                          cache_dir: Optional[str] = None,
+                          use_cache: Optional[bool] = None,
+                          job_timeout: Optional[float] = None,
+                          retries: Optional[int] = None,
+                          ) -> Tuple[Dict[str, Dict[str, SimResult]],
+                                     Optional[SweepReport]]:
+    """Like :func:`run_suite`, returning ``(results, report)``.
+
+    ``report`` is this sweep's own :class:`SweepReport` (``None`` when
+    every job was served from cache and no scheduler ran).  Unlike
+    :func:`last_sweep_report`, the returned report cannot be clobbered
+    by another sweep running concurrently in the same process — this
+    is the entry point for the simulation service and any other
+    multi-request caller.  The CLI-convenience global is still
+    refreshed so ``--report-json`` flows keep working.
+    """
+    global _LAST_REPORT
+    engine = _engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                     job_timeout=job_timeout, retries=retries)
+    try:
+        results = engine.sweep(modes, workloads=workloads, config=config)
+    finally:
+        if engine.last_report is not None:
+            _LAST_REPORT = engine.last_report
+    return results, engine.last_report
+
+
 def run_suite(modes: Iterable[FusionMode],
               workloads: Optional[List[str]] = None,
               config: Optional[ProcessorConfig] = None,
@@ -103,16 +144,15 @@ def run_suite(modes: Iterable[FusionMode],
     is bit-identical to the sequential (default) run.  ``job_timeout``
     and ``retries`` feed the fault-tolerant scheduler (see
     :mod:`repro.experiments.faults`); the execution report of the run
-    is retrievable afterwards via :func:`last_sweep_report`.
+    is retrievable afterwards via :func:`last_sweep_report` — or, for
+    concurrent callers, returned directly by
+    :func:`run_suite_with_report`.
     """
-    global _LAST_REPORT
-    engine = _engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
-                     job_timeout=job_timeout, retries=retries)
-    try:
-        return engine.sweep(modes, workloads=workloads, config=config)
-    finally:
-        if engine.last_report is not None:
-            _LAST_REPORT = engine.last_report
+    results, _ = run_suite_with_report(
+        modes, workloads=workloads, config=config, jobs=jobs,
+        cache_dir=cache_dir, use_cache=use_cache,
+        job_timeout=job_timeout, retries=retries)
+    return results
 
 
 def clear_cache(disk: bool = False) -> None:

@@ -78,6 +78,23 @@ class Histogram:
                 return value
         return self.max
 
+    def summary(self) -> Dict[str, float]:
+        """JSON-safe digest: count/mean/max plus p50/p90/p99.
+
+        The percentile trio is what latency-shaped histograms (the
+        simulation service's queue/execution timings) report from
+        ``status`` requests and metrics dumps; occupancy histograms
+        get the same digest for free.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
     def __repr__(self) -> str:
         return "<Histogram %s n=%d mean=%.2f max=%d>" % (
             self.name, self.count, self.mean, self.max)
@@ -149,10 +166,8 @@ class StatsRegistry:
         """JSON-safe snapshot of every registered instrument."""
         return {
             "counters": {c.name: c.value for c in self.counters()},
-            "histograms": {
-                h.name: {"count": h.count, "mean": h.mean, "max": h.max}
-                for h in self.histograms()
-            },
+            "histograms": {h.name: h.summary()
+                           for h in self.histograms()},
         }
 
 

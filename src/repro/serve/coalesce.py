@@ -1,0 +1,143 @@
+"""Request coalescing for the simulation service.
+
+Two small primitives keep a storm of duplicate requests from turning
+into a storm of duplicate simulations:
+
+* :class:`LRUTier` — a bounded in-memory result tier in front of the
+  persistent on-disk :class:`~repro.experiments.cache.ResultCache`.
+  Strict LRU on *access* (hits refresh recency), strict capacity
+  bound on *insert*.
+
+* :class:`SingleFlight` — duplicate suppression for requests that
+  miss every cache tier.  The first caller of a key becomes the
+  *leader* and executes; every concurrent duplicate *joins* and
+  awaits the same future.  The entry is removed once the leader
+  resolves it — success or failure — so a failed execution never
+  poisons later requests for the same key.
+
+Both are asyncio-single-threaded by design: the server touches them
+only from the event loop, so no locks are needed and the hypothesis
+suites can drive arbitrary interleavings deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any
+
+
+class LRUTier:
+    """A capacity-bounded LRU map from request key to result payload.
+
+    Never exceeds ``capacity`` entries; a ``capacity`` of zero
+    disables the tier (every ``get`` misses, every ``put`` is
+    dropped).  Hits count as use: ``get`` moves the entry to the
+    most-recently-used end.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or ``None`` on miss."""
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = value
+            return
+        if len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = value
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class SingleFlight:
+    """Deduplicate concurrent executions of the same key.
+
+    Usage (from the owning event loop only)::
+
+        leader, future = flight.join(key)
+        if leader:
+            try:
+                flight.resolve(key, await compute())
+            except Exception as exc:
+                flight.fail(key, exc)
+        result = await future
+
+    ``join`` returns ``(True, fut)`` for the first caller of a key
+    with no entry in flight, and ``(False, fut)`` — the *same* future
+    — for every caller that arrives before the leader resolves it.
+    ``resolve``/``fail`` complete the future and clear the entry, so
+    the next request for the key starts a fresh flight.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._inflight
+
+    def join(self, key: str) -> tuple[bool, asyncio.Future]:
+        found = self._inflight.get(key)
+        if found is not None:
+            self.coalesced += 1
+            return False, found
+        future = asyncio.get_event_loop().create_future()
+        self._inflight[key] = future
+        return True, future
+
+    def resolve(self, key: str, value: Any) -> None:
+        future = self._inflight.pop(key)
+        if not future.done():
+            future.set_result(value)
+
+    def fail(self, key: str, error: BaseException) -> None:
+        future = self._inflight.pop(key)
+        if not future.done():
+            future.set_exception(error)
+
+    def abort_all(self, error: BaseException) -> int:
+        """Fail every in-flight entry (server shutdown); returns count."""
+        aborted = 0
+        for key in list(self._inflight):
+            self.fail(key, error)
+            aborted += 1
+        return aborted

@@ -1,0 +1,293 @@
+"""Wire protocol of the simulation service: JSON lines, typed.
+
+One request or response per line of UTF-8 JSON, ``\\n``-terminated —
+trivially debuggable with ``nc``/``socat``, framed without length
+prefixes, and streamable through any line-buffered transport (unix
+socket or TCP).  Requests and responses are small typed dataclasses
+(:class:`Request` / :class:`Response`) with symmetric
+``encode``/``decode`` functions, so every shape that can cross the
+wire round-trips and is property-tested to.
+
+Malformed input never kills a connection handler: every decode
+failure raises :class:`ProtocolError` with a machine-readable error
+code, which the server folds into a structured error response (or a
+clean close when the line framing itself is unrecoverable, e.g. an
+oversized line).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.config import FusionMode, ProcessorConfig
+
+#: Protocol schema version; bumped on any incompatible wire change.
+PROTOCOL_VERSION = 1
+
+#: Hard per-line byte budget, both directions.  A line longer than
+#: this is rejected before parsing (requests) and refused at encode
+#: time (responses) — an unbounded line is an unbounded allocation.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Request types the server dispatches on.
+REQUEST_TYPES = ("simulate", "sample", "analyze", "status", "drain")
+
+# Error codes (Response.error).
+E_BAD_JSON = "bad-json"            # line is not valid JSON
+E_BAD_REQUEST = "bad-request"      # JSON but not a valid request
+E_UNKNOWN_TYPE = "unknown-type"    # request type outside REQUEST_TYPES
+E_TOO_LARGE = "too-large"          # line exceeded MAX_LINE_BYTES
+E_BUSY = "busy"                    # admission queue full (retry_after)
+E_DRAINING = "draining"            # server draining; no new work
+E_EXECUTION = "execution-failed"   # job failed beyond its retry budget
+E_SHUTDOWN = "shutdown"            # server stopped mid-request
+
+#: Fusion-mode values accepted on the wire (case-insensitive lookup).
+_MODES = {mode.value.lower(): mode.value for mode in FusionMode}
+
+#: ProcessorConfig fields a request may override.  The fusion mode
+#: travels in the dedicated ``mode`` field, and observational fields
+#: never change results — both are rejected as overrides.
+_CONFIG_FIELDS = frozenset(
+    f.name for f in fields(ProcessorConfig)
+    if f.name != "fusion_mode"
+    and f.name not in ProcessorConfig.NON_TIMING_FIELDS)
+
+
+class ProtocolError(ValueError):
+    """A wire-level violation, carrying its response error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def normalize_mode(text: str) -> str:
+    """Canonical :class:`FusionMode` value for ``text`` (any case)."""
+    try:
+        return _MODES[text.lower()]
+    except KeyError:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            "unknown mode %r; choose from: %s"
+            % (text, ", ".join(m.value for m in FusionMode))) from None
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(E_BAD_REQUEST, message)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request.  ``type`` selects the verb; the optional
+    fields parameterize it (unused fields keep their falsy defaults).
+
+    * ``simulate`` — one (workload, mode, config) pipeline run.
+    * ``sample`` — sampled estimate (``windows``/``warmup``).
+    * ``analyze`` — legality + differential report for one workload.
+    * ``status`` — queue/cache/metrics snapshot; never queued.
+    * ``drain`` — stop admitting work, finish in-flight, then ack.
+    """
+
+    type: str
+    id: int = 0
+    workload: str = ""
+    mode: str = ""                 # FusionMode value; "" = server default
+    max_uops: int = 0              # 0 = catalog default capture
+    config: dict = field(default_factory=dict)  # ProcessorConfig overrides
+    windows: int = 0               # sample: strata count (0 = default)
+    warmup: int = 0                # sample: bounded warmup (0 = continuous)
+
+    # ------------------------------------------------------------ checks --
+
+    def validate(self) -> "Request":
+        """Raise :class:`ProtocolError` unless self is well-formed."""
+        if self.type not in REQUEST_TYPES:
+            raise ProtocolError(
+                E_UNKNOWN_TYPE,
+                "unknown request type %r; choose from: %s"
+                % (self.type, ", ".join(REQUEST_TYPES)))
+        _require(isinstance(self.id, int) and not isinstance(self.id, bool)
+                 and self.id >= 0, "id must be a non-negative integer")
+        _require(isinstance(self.workload, str), "workload must be a string")
+        _require(isinstance(self.mode, str), "mode must be a string")
+        _require(isinstance(self.max_uops, int)
+                 and not isinstance(self.max_uops, bool)
+                 and self.max_uops >= 0,
+                 "max_uops must be a non-negative integer")
+        _require(isinstance(self.windows, int)
+                 and not isinstance(self.windows, bool)
+                 and self.windows >= 0,
+                 "windows must be a non-negative integer")
+        _require(isinstance(self.warmup, int)
+                 and not isinstance(self.warmup, bool)
+                 and self.warmup >= 0,
+                 "warmup must be a non-negative integer")
+        _require(isinstance(self.config, dict), "config must be an object")
+        for key, value in self.config.items():
+            _require(key in _CONFIG_FIELDS,
+                     "config override %r is not an overridable "
+                     "ProcessorConfig field" % key)
+            _require(isinstance(value, (int, bool, str)),
+                     "config override %r must be a scalar" % key)
+        if self.type in ("simulate", "sample", "analyze"):
+            _require(bool(self.workload),
+                     "%r request needs a workload" % self.type)
+        else:
+            _require(not self.workload and not self.mode
+                     and not self.max_uops and not self.config
+                     and not self.windows and not self.warmup,
+                     "%r request takes no parameters" % self.type)
+        if self.mode:
+            normalize_mode(self.mode)
+        if self.type != "sample":
+            _require(not self.windows and not self.warmup,
+                     "windows/warmup only apply to 'sample' requests")
+        return self
+
+    def to_dict(self) -> dict:
+        """Wire dict; defaulted fields are omitted to keep lines small."""
+        data = {"v": PROTOCOL_VERSION, "id": self.id, "type": self.type}
+        for name in ("workload", "mode", "max_uops", "config",
+                     "windows", "warmup"):
+            value = getattr(self, name)
+            if value:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Request":
+        if not isinstance(data, dict):
+            raise ProtocolError(E_BAD_REQUEST,
+                                "request must be a JSON object")
+        version = data.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "unsupported protocol version %r" % version)
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key == "v":
+                continue
+            if key not in known:
+                raise ProtocolError(E_BAD_REQUEST,
+                                    "unknown request field %r" % key)
+            kwargs[key] = value
+        if "type" not in kwargs or not isinstance(kwargs["type"], str):
+            raise ProtocolError(E_BAD_REQUEST,
+                                "request needs a string 'type'")
+        try:
+            request = cls(**kwargs)
+        except TypeError:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "malformed request object") from None
+        return request.validate()
+
+
+@dataclass(frozen=True)
+class Response:
+    """One server response, matched to its request by ``id``.
+
+    ``ok=True`` carries ``payload`` (verb-specific result dict) plus
+    ``meta`` (cache tier, latencies, attempt count).  ``ok=False``
+    carries a machine-readable ``error`` code, a human ``message``,
+    and — for :data:`E_BUSY` — an advisory ``retry_after`` in seconds.
+    """
+
+    id: int = 0
+    ok: bool = False
+    type: str = ""                 # echo of the request type
+    payload: dict = field(default_factory=dict)
+    error: str = ""                # code (E_*); "" when ok
+    message: str = ""
+    retry_after: float = 0.0       # seconds; only with E_BUSY
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = {"v": PROTOCOL_VERSION, "id": self.id, "ok": self.ok,
+                "type": self.type}
+        for name in ("payload", "error", "message", "retry_after",
+                     "meta"):
+            value = getattr(self, name)
+            if value:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Response":
+        if not isinstance(data, dict):
+            raise ProtocolError(E_BAD_REQUEST,
+                                "response must be a JSON object")
+        version = data.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "unsupported protocol version %r" % version)
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key != "v"}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "unknown response field %r"
+                                % sorted(unknown)[0])
+        try:
+            return cls(**kwargs)
+        except TypeError:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "malformed response object") from None
+
+
+# ------------------------------------------------------------- wire I/O --
+
+def _encode(data: dict) -> bytes:
+    line = json.dumps(data, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8") + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(E_TOO_LARGE,
+                            "encoded line exceeds %d bytes"
+                            % MAX_LINE_BYTES)
+    return line
+
+
+def encode_request(request: Request) -> bytes:
+    """One validated request as a JSON line (bytes, newline included)."""
+    return _encode(request.validate().to_dict())
+
+
+def encode_response(response: Response) -> bytes:
+    """One response as a JSON line (bytes, newline included)."""
+    return _encode(response.to_dict())
+
+
+def _parse_line(line: bytes) -> dict:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(E_TOO_LARGE,
+                            "line exceeds %d bytes" % MAX_LINE_BYTES)
+    try:
+        return json.loads(line.decode("utf-8", errors="strict"))
+    except (ValueError, UnicodeDecodeError):
+        raise ProtocolError(E_BAD_JSON, "line is not valid JSON") from None
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse + validate one request line; raises :class:`ProtocolError`."""
+    return Request.from_dict(_parse_line(line))
+
+
+def decode_response(line: bytes) -> Response:
+    """Parse one response line; raises :class:`ProtocolError`."""
+    return Response.from_dict(_parse_line(line))
+
+
+def error_response(request_id: int, request_type: str, code: str,
+                   message: str, retry_after: float = 0.0) -> Response:
+    """A structured error response for one failed request."""
+    return Response(id=request_id, ok=False, type=request_type,
+                    error=code, message=message, retry_after=retry_after)
+
+
+def request_equal(first: Request, second: Request) -> bool:
+    """Equality modulo the wire-irrelevant dataclass identity."""
+    return asdict(first) == asdict(second)

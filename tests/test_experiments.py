@@ -72,6 +72,42 @@ def test_run_suite_shape():
     assert set(results["bitcount"]) == {"NoFusion"}
 
 
+def test_interleaved_sweeps_keep_their_own_reports():
+    # Regression: last_sweep_report() is a module global that any
+    # sweep overwrites, so two sweeps interleaved in one process (the
+    # simulation service, threaded embedders) used to have no safe way
+    # to read their own execution report.  run_suite_with_report
+    # threads the report through the return value instead — run two
+    # sweeps concurrently and check neither sees the other's jobs.
+    import threading
+
+    from repro.experiments import run_suite_with_report
+
+    clear_cache()  # a memo hit would mean no scheduler run, no report
+    plans = {"a": ["bitcount"], "b": ["dijkstra"]}
+    reports = {}
+    barrier = threading.Barrier(len(plans))
+
+    def sweep(tag):
+        barrier.wait()  # maximize overlap between the two sweeps
+        results, report = run_suite_with_report(
+            [FusionMode.NONE], workloads=plans[tag], use_cache=False)
+        reports[tag] = (set(results), report)
+
+    threads = [threading.Thread(target=sweep, args=(tag,))
+               for tag in plans]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for tag, workloads in plans.items():
+        seen, report = reports[tag]
+        assert seen == set(workloads)
+        assert report is not None
+        assert [job.workload for job in report.jobs] == workloads
+
+
 # ---- figures (structure on a small subset) -----------------------------------
 
 def test_figure2_structure():

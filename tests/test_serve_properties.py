@@ -1,0 +1,208 @@
+"""Property tests for the serving cache/coalescing primitives.
+
+The LRU tier is checked against an independent, deliberately naive
+reference model (a recency *list*, not an ``OrderedDict``) under
+arbitrary get/put interleavings: it must never exceed capacity, never
+serve a value under the wrong key, and always evict exactly the
+least-recently-used entry.
+
+Single-flight is checked for its contract: one leader per key, every
+concurrent joiner observes the *same* result object, and the in-flight
+entry is cleared on success **and** failure so a failed execution
+never poisons later requests for the same key.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.coalesce import LRUTier, SingleFlight
+
+
+def run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+class ModelLRU:
+    """Reference LRU: a plain recency list, index 0 = coldest."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = []  # [(key, value)], append = most recent
+
+    def get(self, key):
+        for index, (found, value) in enumerate(self.items):
+            if found == key:
+                self.items.append(self.items.pop(index))
+                return value
+        return None
+
+    def put(self, key, value):
+        if self.capacity == 0:
+            return
+        for index, (found, _) in enumerate(self.items):
+            if found == key:
+                self.items.pop(index)
+                break
+        else:
+            if len(self.items) >= self.capacity:
+                self.items.pop(0)
+        self.items.append((key, value))
+
+
+_keys = st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"])
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["get", "put"]), _keys),
+    max_size=200)
+
+
+class TestLRUTier:
+    @settings(max_examples=300, deadline=None)
+    @given(capacity=st.integers(min_value=0, max_value=6), ops=_ops)
+    def test_matches_reference_model(self, capacity, ops):
+        tier = LRUTier(capacity)
+        model = ModelLRU(capacity)
+        serial = 0
+        for verb, key in ops:
+            if verb == "put":
+                value = (key, serial)   # unique, self-identifying
+                serial += 1
+                tier.put(key, value)
+                model.put(key, value)
+            else:
+                got = tier.get(key)
+                assert got == model.get(key)
+                if got is not None:
+                    # Never a value stored under a different key.
+                    assert got[0] == key
+            assert len(tier) <= capacity
+        assert len(tier) == len(model.items)
+
+    @settings(max_examples=200, deadline=None)
+    @given(capacity=st.integers(min_value=1, max_value=6), ops=_ops)
+    def test_counters_account_for_every_operation(self, capacity, ops):
+        tier = LRUTier(capacity)
+        gets = puts = 0
+        for verb, key in ops:
+            if verb == "put":
+                tier.put(key, key)
+                puts += 1
+            else:
+                tier.get(key)
+                gets += 1
+        stats = tier.stats()
+        assert stats["hits"] + stats["misses"] == gets
+        assert stats["evictions"] <= puts
+        assert stats["size"] == len(tier) <= capacity
+
+    def test_capacity_zero_disables_the_tier(self):
+        tier = LRUTier(0)
+        tier.put("k", "v")
+        assert len(tier) == 0
+        assert tier.get("k") is None
+        assert tier.stats()["misses"] == 1
+
+    def test_eviction_is_least_recently_used_and_get_refreshes(self):
+        tier = LRUTier(2)
+        tier.put("a", 1)
+        tier.put("b", 2)
+        assert tier.get("a") == 1     # refresh "a": "b" is now LRU
+        tier.put("c", 3)
+        assert "b" not in tier
+        assert tier.get("a") == 1
+        assert tier.get("c") == 3
+
+
+class TestSingleFlight:
+    @settings(max_examples=100, deadline=None)
+    @given(keys=st.lists(_keys, min_size=1, max_size=40))
+    def test_one_leader_per_key_and_all_joiners_share_result(
+            self, keys):
+        async def scenario():
+            flight = SingleFlight()
+            joined = {}
+            leaders = {}
+            for key in keys:
+                leader, future = flight.join(key)
+                if leader:
+                    assert key not in leaders
+                    leaders[key] = future
+                else:
+                    assert future is leaders[key]
+                joined.setdefault(key, []).append(future)
+            assert set(leaders) == set(joined)
+            assert flight.coalesced == len(keys) - len(leaders)
+            results = {key: object() for key in leaders}
+            for key in leaders:
+                flight.resolve(key, results[key])
+            assert len(flight) == 0
+            for key, futures in joined.items():
+                for future in futures:
+                    assert (await future) is results[key]
+        run(scenario())
+
+    def test_entry_cleared_on_success_and_on_failure(self):
+        async def scenario():
+            flight = SingleFlight()
+            leader, future = flight.join("k")
+            assert leader
+            flight.resolve("k", 42)
+            assert "k" not in flight
+            assert await future == 42
+
+            # A fresh flight starts after success...
+            leader, future = flight.join("k")
+            assert leader
+            flight.fail("k", RuntimeError("boom"))
+            assert "k" not in flight          # ...and after failure.
+            try:
+                await future
+            except RuntimeError as exc:
+                assert str(exc) == "boom"
+            else:
+                raise AssertionError("future should have failed")
+
+            # The failed flight does not poison the next request.
+            leader, future = flight.join("k")
+            assert leader
+            flight.resolve("k", 43)
+            assert await future == 43
+        run(scenario())
+
+    def test_failure_reaches_every_concurrent_waiter(self):
+        async def scenario():
+            flight = SingleFlight()
+            _, future = flight.join("k")
+            joiners = [flight.join("k")[1] for _ in range(5)]
+            assert all(j is future for j in joiners)
+            flight.fail("k", ValueError("dead"))
+            for waiter in [future] + joiners:
+                try:
+                    await waiter
+                except ValueError:
+                    pass
+                else:
+                    raise AssertionError("waiter should have failed")
+        run(scenario())
+
+    def test_abort_all_fails_every_inflight_key(self):
+        async def scenario():
+            flight = SingleFlight()
+            futures = [flight.join(key)[1] for key in ("a", "b", "c")]
+            aborted = flight.abort_all(ConnectionError("shutdown"))
+            assert aborted == 3
+            assert len(flight) == 0
+            for future in futures:
+                try:
+                    await future
+                except ConnectionError:
+                    pass
+                else:
+                    raise AssertionError("future should have failed")
+        run(scenario())

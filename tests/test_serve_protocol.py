@@ -1,0 +1,209 @@
+"""Wire-protocol tests: round-trip properties and adversarial input.
+
+Two halves:
+
+* **Round-trip** — every request/response shape that can legally
+  cross the wire must decode back to exactly the value that was
+  encoded (hypothesis generates the shapes).
+* **Fuzz** — arbitrary garbage, truncated JSON, oversized lines,
+  unknown fields/types must all raise :class:`ProtocolError` with a
+  machine-readable code, never any other exception.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FusionMode
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+MODES = [mode.value for mode in FusionMode]
+
+WORK_TYPES = ["simulate", "sample", "analyze"]
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"),
+                           whitelist_characters="._-"),
+    min_size=1, max_size=24)
+
+_config_overrides = st.dictionaries(
+    st.sampled_from(["rob_size", "fetch_width", "lq_size", "sq_size"]),
+    st.integers(min_value=1, max_value=512), max_size=3)
+
+
+def _work_requests():
+    def build(draw_type, rid, workload, mode, max_uops, config,
+              windows, warmup):
+        if draw_type != "sample":
+            windows = warmup = 0
+        return Request(type=draw_type, id=rid, workload=workload,
+                       mode=mode, max_uops=max_uops, config=config,
+                       windows=windows, warmup=warmup)
+    return st.builds(
+        build,
+        st.sampled_from(WORK_TYPES),
+        st.integers(min_value=0, max_value=2**31),
+        _names,
+        st.sampled_from(MODES + [""]),
+        st.integers(min_value=0, max_value=10**7),
+        _config_overrides,
+        st.integers(min_value=0, max_value=128),
+        st.integers(min_value=0, max_value=10**6),
+    )
+
+
+def _control_requests():
+    return st.builds(
+        Request,
+        type=st.sampled_from(["status", "drain"]),
+        id=st.integers(min_value=0, max_value=2**31),
+    )
+
+
+_json_scalars = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=32), st.booleans())
+
+_payloads = st.dictionaries(st.text(min_size=1, max_size=16),
+                            _json_scalars, max_size=4)
+
+
+def _responses():
+    return st.builds(
+        Response,
+        id=st.integers(min_value=0, max_value=2**31),
+        ok=st.booleans(),
+        type=st.sampled_from(WORK_TYPES + ["status", "drain", ""]),
+        payload=_payloads,
+        error=st.sampled_from(["", protocol.E_BUSY,
+                               protocol.E_EXECUTION,
+                               protocol.E_BAD_REQUEST]),
+        message=st.text(max_size=64),
+        retry_after=st.floats(min_value=0.0, max_value=600.0,
+                              allow_nan=False),
+        meta=_payloads,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(st.one_of(_work_requests(), _control_requests()))
+    def test_request_round_trips(self, request):
+        assert decode_request(encode_request(request)) == request
+
+    @settings(max_examples=200, deadline=None)
+    @given(_responses())
+    def test_response_round_trips(self, response):
+        assert decode_response(encode_response(response)) == response
+
+    def test_encoded_lines_are_newline_terminated_json(self):
+        line = encode_request(Request(type="status", id=7))
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"v": 1, "id": 7, "type": "status"}
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("line", [
+        b"",                       # empty line
+        b"\n",
+        b"not json at all\n",
+        b'{"type": "simulate"',    # truncated JSON
+        b'{"type": "simulate", "workload": "dij',
+        b"\xff\xfe\x00garbage\n",  # not even UTF-8
+        b"[1, 2, 3]\n",            # JSON, wrong shape
+        b'"just a string"\n',
+        b"42\n",
+        b"null\n",
+    ])
+    def test_garbage_raises_protocol_error(self, line):
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code in (protocol.E_BAD_JSON,
+                                   protocol.E_BAD_REQUEST)
+
+    def test_unknown_request_type(self):
+        line = json.dumps({"type": "frobnicate"}).encode() + b"\n"
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_UNKNOWN_TYPE
+
+    def test_unknown_field_rejected(self):
+        line = json.dumps({"type": "status", "shoes": 2}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_BAD_REQUEST
+
+    def test_unknown_config_override_rejected(self):
+        line = json.dumps({"type": "simulate", "workload": "dijkstra",
+                           "config": {"warp_drive": 9}}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_BAD_REQUEST
+
+    def test_unknown_mode_rejected(self):
+        line = json.dumps({"type": "simulate", "workload": "dijkstra",
+                           "mode": "TurboFusion"}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_BAD_REQUEST
+
+    def test_wrong_protocol_version_rejected(self):
+        line = json.dumps({"v": 99, "type": "status"}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_BAD_REQUEST
+
+    def test_oversized_line_rejected(self):
+        line = b'{"type": "simulate", "workload": "' \
+               + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_TOO_LARGE
+
+    def test_control_requests_take_no_parameters(self):
+        line = json.dumps({"type": "drain",
+                           "workload": "dijkstra"}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_BAD_REQUEST
+
+    def test_windows_only_for_sample(self):
+        line = json.dumps({"type": "simulate", "workload": "d",
+                           "windows": 4}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_request(line)
+        assert info.value.code == protocol.E_BAD_REQUEST
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_never_raise_anything_else(self, blob):
+        try:
+            decode_request(blob + b"\n")
+        except ProtocolError:
+            pass  # the only acceptable exception type
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.recursive(
+        _json_scalars | st.none(),
+        lambda inner: st.lists(inner, max_size=3)
+        | st.dictionaries(st.text(max_size=8), inner, max_size=3),
+        max_leaves=10))
+    def test_arbitrary_json_never_raises_anything_else(self, doc):
+        line = json.dumps(doc).encode() + b"\n"
+        try:
+            decode_request(line)
+        except ProtocolError:
+            pass

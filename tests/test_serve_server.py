@@ -1,0 +1,285 @@
+"""Integration tests for the simulation service.
+
+Every test talks to a real :class:`SimulationServer` over a real unix
+socket (or TCP) via :class:`BackgroundServer`, exercising the full
+wire path: admission, caching tiers, coalescing, drain, structured
+errors, and the guarantee that nothing a client does — garbage lines,
+oversized payloads, mid-request disconnects — can take the server
+down.
+
+Capture lengths are kept tiny (a couple thousand µ-ops) so the suite
+stresses the serving machinery, not the simulator.
+"""
+
+import dataclasses
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.config import FusionMode, ProcessorConfig
+from repro.core.simulator import simulate
+from repro.experiments.cache import ResultCache
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import MAX_LINE_BYTES, Request
+from repro.serve.server import BackgroundServer
+from repro.workloads import build_workload
+
+WORKLOAD = "bitcount"
+CAP = 1500
+
+
+def _config(mode: str) -> ProcessorConfig:
+    return dataclasses.replace(ProcessorConfig(),
+                               fusion_mode=FusionMode(mode))
+
+
+def _direct_payload(workload: str, mode: str, max_uops: int) -> dict:
+    """What the server must return: a direct run, JSON-round-tripped
+    (the wire turns tuples into lists)."""
+    result = simulate(build_workload(workload, max_uops=max_uops),
+                      _config(mode), name=workload)
+    return json.loads(json.dumps(result.to_dict()))
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    sock = str(tmp_path_factory.mktemp("serve") / "repro.sock")
+    with BackgroundServer(path=sock, pool_jobs=1, use_disk_cache=False,
+                          queue_limit=8) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(path=server.address, timeout=120.0) as handle:
+        yield handle
+
+
+def _executions(client) -> int:
+    counters = client.status()["metrics"]["counters"]
+    return int(counters.get("serve.executions", 0))
+
+
+class TestRequestPath:
+    def test_simulate_matches_direct_run_bit_for_bit(self, client):
+        served = client.simulate(WORKLOAD, mode="Helios", max_uops=CAP)
+        assert served == _direct_payload(WORKLOAD, "Helios", CAP)
+
+    def test_repeat_request_is_served_from_lru(self, client):
+        request = Request(type="simulate", id=90, workload=WORKLOAD,
+                          mode="NoFusion", max_uops=CAP)
+        first = client.request(request)
+        assert first.ok
+        again = client.request(dataclasses.replace(request, id=91))
+        assert again.ok
+        assert again.meta["tier"] == "lru"
+        assert again.payload == first.payload
+
+    def test_identical_concurrent_requests_execute_once(
+            self, server, client):
+        before = _executions(client)
+        errors = []
+
+        def one_request():
+            try:
+                with ServeClient(path=server.address,
+                                 timeout=120.0,
+                                 busy_retries=8) as mine:
+                    mine.simulate(WORKLOAD, mode="Helios",
+                                  max_uops=CAP + 1)
+            except Exception as exc:  # collected, not swallowed
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one_request)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Duplicates either coalesced onto the single flight or hit
+        # the LRU afterwards — exactly one execution either way.
+        assert _executions(client) == before + 1
+
+    def test_sample_and_analyze_verbs(self, client):
+        sampled = client.sample(WORKLOAD, mode="Helios",
+                                max_uops=CAP, windows=4)
+        assert isinstance(sampled, dict) and sampled
+        report = client.analyze(WORKLOAD, mode="Helios", max_uops=CAP)
+        assert isinstance(report, dict) and report
+
+    def test_status_payload_shape(self, client):
+        status = client.status()
+        assert status["protocol"] == protocol.PROTOCOL_VERSION
+        assert status["queue_limit"] == 8
+        assert status["disk_cache"] is False
+        assert status["draining"] is False
+        assert set(status["lru"]) == {"size", "capacity", "hits",
+                                      "misses", "evictions"}
+        counters = status["metrics"]["counters"]
+        assert counters["serve.requests"] >= 1
+        assert counters["serve.connections"] >= 1
+
+    def test_unknown_workload_is_a_structured_failure(self, client):
+        with pytest.raises(ServeError) as info:
+            client.simulate("no_such_kernel", mode="Helios",
+                            max_uops=CAP)
+        assert info.value.code == protocol.E_EXECUTION
+        # The failure did not take the server down.
+        assert client.status()["protocol"] == protocol.PROTOCOL_VERSION
+
+    def test_full_queue_answers_busy_with_retry_after(
+            self, server, client):
+        inner = server.server
+        saved = inner._pending
+        inner._pending = inner.queue_limit
+        try:
+            response = client.request(Request(
+                type="simulate", id=99, workload=WORKLOAD,
+                mode="Helios", max_uops=CAP + 7))
+        finally:
+            inner._pending = saved
+        assert not response.ok
+        assert response.error == protocol.E_BUSY
+        assert response.retry_after > 0
+
+
+class TestHostileClients:
+    def _raw(self, server):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30.0)
+        sock.connect(server.address)
+        return sock
+
+    def test_garbage_line_answered_and_connection_survives(
+            self, server):
+        sock = self._raw(server)
+        try:
+            handle = sock.makefile("rb")
+            sock.sendall(b"this is not json\n")
+            error = protocol.decode_response(handle.readline())
+            assert not error.ok
+            assert error.error == protocol.E_BAD_JSON
+            # Same connection still speaks the protocol.
+            sock.sendall(protocol.encode_request(
+                Request(type="status", id=1)))
+            status = protocol.decode_response(handle.readline())
+            assert status.ok
+        finally:
+            sock.close()
+
+    def test_unknown_type_over_the_wire(self, server):
+        sock = self._raw(server)
+        try:
+            handle = sock.makefile("rb")
+            sock.sendall(b'{"type": "explode"}\n')
+            error = protocol.decode_response(handle.readline())
+            assert not error.ok
+            assert error.error == protocol.E_UNKNOWN_TYPE
+        finally:
+            sock.close()
+
+    def test_slightly_oversized_line_is_rejected_not_fatal(
+            self, server):
+        # Fits in the stream reader's buffer (limit is MAX + 1024) so
+        # framing survives: structured error, connection stays usable.
+        sock = self._raw(server)
+        try:
+            handle = sock.makefile("rb")
+            sock.sendall(b'{"pad": "' + b"x" * (MAX_LINE_BYTES + 16)
+                         + b'"}\n')
+            error = protocol.decode_response(handle.readline())
+            assert not error.ok
+            assert error.error == protocol.E_TOO_LARGE
+            sock.sendall(protocol.encode_request(
+                Request(type="status", id=2)))
+            assert protocol.decode_response(handle.readline()).ok
+        finally:
+            sock.close()
+
+    def test_hugely_oversized_line_gets_error_then_clean_close(
+            self, server):
+        # Overruns the reader buffer: line framing cannot be
+        # resynchronized, so one final error, then the server closes.
+        sock = self._raw(server)
+        try:
+            handle = sock.makefile("rb")
+            sock.sendall(b'{"pad": "' + b"x" * (MAX_LINE_BYTES + 65536)
+                         + b'"}\n')
+            error = protocol.decode_response(handle.readline())
+            assert not error.ok
+            assert error.error == protocol.E_TOO_LARGE
+            assert handle.readline() == b""
+        finally:
+            sock.close()
+
+    def test_mid_request_disconnect_leaves_server_healthy(
+            self, server, client):
+        sock = self._raw(server)
+        sock.sendall(b'{"type": "simulate", "workl')  # no newline
+        sock.close()
+        assert client.status()["protocol"] == protocol.PROTOCOL_VERSION
+
+    def test_disconnect_while_work_in_flight(self, server, client):
+        sock = self._raw(server)
+        sock.sendall(protocol.encode_request(Request(
+            type="simulate", id=1, workload=WORKLOAD, mode="NoFusion",
+            max_uops=CAP + 13)))
+        sock.close()  # never reads the response
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if client.status()["pending"] == 0:
+                break
+            time.sleep(0.05)
+        assert client.status()["pending"] == 0
+
+
+class TestLifecycles:
+    def test_drain_rejects_new_work_but_answers_status(self, tmp_path):
+        sock = str(tmp_path / "drain.sock")
+        with BackgroundServer(path=sock, use_disk_cache=False) as bg:
+            with ServeClient(path=bg.address, timeout=120.0) as handle:
+                handle.simulate(WORKLOAD, mode="Helios", max_uops=CAP)
+                assert handle.drain()["drained"] is True
+                with pytest.raises(ServeError) as info:
+                    handle.simulate(WORKLOAD, mode="NoFusion",
+                                    max_uops=CAP)
+                assert info.value.code == protocol.E_DRAINING
+                status = handle.status()
+                assert status["draining"] is True
+                assert status["pending"] == 0
+
+    def test_tcp_endpoint(self):
+        with BackgroundServer(host="127.0.0.1", port=0,
+                              use_disk_cache=False) as bg:
+            assert bg.server.port != 0
+            with ServeClient(host="127.0.0.1",
+                             port=bg.server.port,
+                             timeout=120.0) as handle:
+                status = handle.status()
+                assert status["address"].endswith(
+                    ":%d" % bg.server.port)
+
+    def test_disk_tier_serves_across_server_restarts(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        config = _config("Helios")
+        seeded = simulate(build_workload(WORKLOAD, max_uops=CAP),
+                          config, name=WORKLOAD)
+        ResultCache().put(WORKLOAD, config, seeded)
+
+        sock = str(tmp_path / "disk.sock")
+        with BackgroundServer(path=sock, use_disk_cache=True) as bg:
+            with ServeClient(path=bg.address, timeout=120.0) as handle:
+                response = handle.request(Request(
+                    type="simulate", id=1, workload=WORKLOAD,
+                    mode="Helios"))
+                assert response.ok
+                assert response.meta["tier"] == "disk"
+                expected = json.loads(json.dumps(seeded.to_dict()))
+                assert response.payload == expected
+                assert _executions(handle) == 0
